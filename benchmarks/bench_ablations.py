@@ -1,0 +1,176 @@
+"""Ablation benches for the design choices DESIGN.md calls out and the
+§VII future-work variants.
+
+1. **Placement scheme** — address-space hashing (Algorithm 1, the paper's
+   design) vs direct AS-number hashing (§VII variant): equivalent latency,
+   but opposite load profiles — address hashing spreads storage
+   proportionally to announced space, AS-number hashing spreads it
+   uniformly per AS.
+2. **Economic weighting** (§VII) — hosting shares track negotiated weights.
+3. **In-network caching** (§VII) — the hit-rate / staleness / latency
+   triangle as the TTL grows under a mobile population.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CachingResolver
+from repro.core.guid import GUID
+from repro.core.resolver import DMapResolver
+from repro.hashing.asnum_placer import ASNumberPlacer, WeightedASPlacer
+from repro.sim.metrics import summarize
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+from .conftest import once
+
+
+def _run_latency(env, workload, placer=None):
+    # local_replica off so the stored load is purely placement-driven.
+    resolver = DMapResolver(
+        env.table, env.router, k=5, placer=placer, local_replica=False
+    )
+    rtts = workload.run_through_resolver(resolver, env.table)
+    return resolver, np.asarray(rtts)
+
+
+def test_placement_scheme_ablation(benchmark, env):
+    workload = WorkloadGenerator(
+        env.topology,
+        WorkloadConfig(
+            n_guids=min(env.scale.n_guids, 3000),
+            n_lookups=min(env.scale.n_lookups, 20_000),
+            seed=4,
+        ),
+    ).generate()
+
+    def run():
+        addr_resolver, addr_rtts = _run_latency(env, workload)
+        asnum_resolver, asnum_rtts = _run_latency(
+            env, workload, placer=ASNumberPlacer(env.topology.asns(), k=5)
+        )
+        return addr_resolver, addr_rtts, asnum_resolver, asnum_rtts
+
+    addr_resolver, addr_rtts, asnum_resolver, asnum_rtts = once(benchmark, run)
+
+    addr_stats, asnum_stats = summarize(addr_rtts), summarize(asnum_rtts)
+    print(f"\naddress-hash placement : {addr_stats.as_row()}")
+    print(f"AS-number placement    : {asnum_stats.as_row()}")
+
+    # Latency: both are single-overlay-hop random placement → same regime.
+    assert 0.6 < asnum_stats.mean / addr_stats.mean < 1.6
+
+    # Load profile: address hashing tracks announced space; AS-number
+    # hashing ignores it.  Rank correlation between per-AS load and
+    # effective announced span separates the two cleanly.
+    from scipy.stats import spearmanr
+
+    spans = env.table.build_interval_index().effective_span_by_asn()
+    ordered_asns = sorted(spans)
+
+    def span_correlation(resolver):
+        loads = [len(resolver.store_at(a)) for a in ordered_asns]
+        rho, _p = spearmanr([spans[a] for a in ordered_asns], loads)
+        return float(rho)
+
+    addr_rho = span_correlation(addr_resolver)
+    asnum_rho = span_correlation(asnum_resolver)
+    print(f"load-vs-announced-span rank correlation — "
+          f"address-hash: {addr_rho:.2f}, AS-number: {asnum_rho:.2f}")
+    assert addr_rho > 0.6, "address hashing must track announced space"
+    assert asnum_rho < addr_rho - 0.3, "AS-number hashing must not"
+
+    # Per-AS uniformity is the AS-number scheme's own fairness notion.
+    asnum_counts = np.asarray(
+        [len(s) for s in asnum_resolver.stores.values() if len(s)]
+    )
+    addr_counts = np.asarray(
+        [len(s) for s in addr_resolver.stores.values() if len(s)]
+    )
+    assert asnum_counts.std() / asnum_counts.mean() < addr_counts.std() / max(
+        addr_counts.mean(), 1e-9
+    )
+
+
+def test_economic_weighting_ablation(benchmark, env):
+    """§VII: 'allocation sizes can be varied to reflect economic
+    incentives' — replica share tracks the negotiated weight."""
+
+    asns = env.topology.asns()
+    rng = np.random.default_rng(5)
+    # Three payment tiers: 10% premium ASs take 5x weight, 30% standard,
+    # 60% minimal.
+    weights = {}
+    for asn in asns:
+        draw = rng.random()
+        weights[asn] = 5.0 if draw < 0.1 else (1.0 if draw < 0.4 else 0.2)
+
+    def run():
+        placer = WeightedASPlacer(weights, k=5)
+        counts = {}
+        for i in range(4000):
+            for asn in placer.hosting_asns(GUID.from_name(f"econ-{i}")):
+                counts[asn] = counts.get(asn, 0) + 1
+        return placer, counts
+
+    placer, counts = once(benchmark, run)
+    premium = [a for a, w in weights.items() if w == 5.0]
+    minimal = [a for a, w in weights.items() if w == 0.2]
+    mean_premium = np.mean([counts.get(a, 0) for a in premium])
+    mean_minimal = np.mean([counts.get(a, 0) for a in minimal])
+    print(f"\nreplicas/AS — premium tier: {mean_premium:.1f}, "
+          f"minimal tier: {mean_minimal:.1f} (weight ratio 25x)")
+    assert mean_premium > 10 * mean_minimal
+
+
+def test_in_network_caching_ablation(benchmark, env):
+    """§VII caching: longer TTLs buy hit rate at the price of staleness."""
+    rng = np.random.default_rng(6)
+    asns = env.topology.asns()
+    n_hosts = 150
+    guids = [GUID.from_name(f"cache-h{i}") for i in range(n_hosts)]
+    queriers = [int(a) for a in rng.choice(asns, size=20)]
+
+    def run_ttl(ttl_ms):
+        resolver = DMapResolver(env.table, env.router, k=5)
+        homes = {}
+        for guid in guids:
+            home = int(rng.choice(asns))
+            homes[guid] = home
+            resolver.insert(
+                guid, [env.table.representative_address(home)], home
+            )
+        caching = CachingResolver(resolver, ttl_ms=ttl_ms)
+        rtts = []
+        # 3000 queries over an hour; hosts move every ~6 minutes.
+        for step in range(3000):
+            caching.advance_time(1200.0)
+            if step % 300 == 0 and step:
+                for guid in guids[:: max(1, n_hosts // 50)]:
+                    target = int(rng.choice(asns))
+                    resolver.update(
+                        guid, [env.table.representative_address(target)], target
+                    )
+            guid = guids[int(rng.integers(0, n_hosts))]
+            src = queriers[step % len(queriers)]
+            result, _cached = caching.lookup(guid, src)
+            rtts.append(result.rtt_ms)
+        return caching.stats, float(np.mean(rtts))
+
+    def run_all():
+        return {ttl: run_ttl(ttl) for ttl in (0.0, 60_000.0, 600_000.0, 3.6e6)}
+
+    results = once(benchmark, run_all)
+    print()
+    for ttl, (stats, mean_rtt) in results.items():
+        print(
+            f"TTL {ttl/1000:7.0f}s: hit rate {stats.hit_rate:6.1%}  "
+            f"stale rate {stats.staleness_rate:6.1%}  mean {mean_rtt:6.1f} ms"
+        )
+
+    hit_rates = [results[t][0].hit_rate for t in sorted(results)]
+    assert hit_rates == sorted(hit_rates), "hit rate grows with TTL"
+    assert results[0.0][0].hit_rate == 0.0
+    # Caching cuts the mean latency once the TTL is meaningful.
+    assert results[3.6e6][1] < results[0.0][1]
+    # And staleness appears as the TTL outlives the mobility timescale.
+    assert results[3.6e6][0].staleness_rate >= results[60_000.0][0].staleness_rate

@@ -1,0 +1,51 @@
+"""E8 — DMap vs baseline schemes (§II-B / §VI quantified).
+
+Paper arguments checked:
+* multi-hop DHT mapping needs many overlay hops and an order of magnitude
+  more latency ("up to 8 logical hops ... about 900 ms" at full scale);
+* one-hop DHTs approach DMap's latency but pay linear membership
+  maintenance traffic; DMap pays none;
+* MobileIP's home-agent anchoring and DNS's hierarchy+cache both lose to
+  replica-local resolution.
+"""
+
+from repro.experiments.baselines_compare import run_baseline_comparison
+
+from .conftest import once
+
+
+def test_baseline_comparison(benchmark, env, workload_config):
+    result = once(
+        benchmark,
+        run_baseline_comparison,
+        environment=env,
+        workload_override=workload_config,
+    )
+    print()
+    print(result.render())
+
+    stats = result.by_name()
+    dmap = stats["dmap (K=5)"]
+    chord = stats["chord-dht"]
+    onehop = stats["one-hop-dht"]
+    mobileip = stats["mobile-ip"]
+    dns = stats["dns-like"]
+
+    # DMap wins on mean latency against every baseline.
+    for name, s in stats.items():
+        if name != "dmap (K=5)":
+            assert s.latency.mean > dmap.latency.mean, name
+
+    # Multi-hop DHT is the slowest resolver, by a large factor.
+    assert chord.latency.mean > 3 * dmap.latency.mean
+    assert chord.mean_overlay_hops > 2.0
+
+    # The latency/maintenance tradeoff: the one-hop DHT gets close on
+    # latency but needs maintenance traffic; DMap needs none.
+    assert onehop.latency.mean < chord.latency.mean
+    assert onehop.maintenance_bps > 0.0
+    assert chord.maintenance_bps > 0.0
+    assert dmap.maintenance_bps == 0.0
+
+    # Single-overlay-hop property.
+    assert dmap.mean_overlay_hops == 1.0

@@ -1,0 +1,73 @@
+"""E1 — Figure 4: round-trip query response time CDF for K ∈ {1, 3, 5}.
+
+Paper shapes checked:
+* adding replicas shifts the whole CDF left (every percentile improves);
+* the K=1 → K=5 95th-percentile gap is roughly 2x at paper scale;
+* a long tail survives at every K (pathological stub-AS queries).
+"""
+
+import numpy as np
+
+from repro.experiments.fig4_response_time import run_fig4
+
+from .conftest import once
+
+
+def test_fig4_response_time_cdf(benchmark, env, workload_config):
+    result = once(
+        benchmark, run_fig4, environment=env, workload_override=workload_config
+    )
+    print()
+    print(result.render())
+
+    s = result.summaries()
+    # CDF ordering: K=5 dominates K=3 dominates K=1.
+    assert s[1].median >= s[3].median >= s[5].median * 0.999
+    assert s[1].p95 > s[5].p95
+    assert s[1].mean > s[5].mean
+    # Tail contraction (paper: 172.8 → 86.1 ms, ~2x; looser off-scale).
+    assert 1.1 < s[1].p95 / s[5].p95 < 3.5
+    # Long tail survives replication: the max is far beyond the median.
+    assert s[5].max > 4 * s[5].median
+
+
+def test_fig4_replica_choice_ablation(benchmark, env, workload_config):
+    """Ablation (§IV-B.2a): least-hop-count selection instead of
+    lowest-latency — 'similar results albeit with marginally increased
+    latencies'."""
+    result = once(
+        benchmark,
+        run_fig4,
+        environment=env,
+        workload_override=workload_config,
+        k_values=(5,),
+        selection_policy="hops",
+    )
+    latency_result = run_fig4(
+        environment=env, workload_override=workload_config, k_values=(5,)
+    )
+    hop_mean = result.rtts_by_k[5].mean()
+    latency_mean = latency_result.rtts_by_k[5].mean()
+    print(f"\nreplica choice: latency {latency_mean:.1f} ms vs hops {hop_mean:.1f} ms")
+    assert hop_mean >= latency_mean - 1e-9
+    assert hop_mean < 2.0 * latency_mean
+
+
+def test_fig4_local_replica_ablation(benchmark, env, workload_config):
+    """Ablation (§III-C): disable the attachment-AS local copy."""
+    without = once(
+        benchmark,
+        run_fig4,
+        environment=env,
+        workload_override=workload_config,
+        k_values=(5,),
+        local_replica=False,
+    )
+    with_local = run_fig4(
+        environment=env, workload_override=workload_config, k_values=(5,)
+    )
+    print(
+        f"\nlocal replica: on {with_local.rtts_by_k[5].mean():.1f} ms, "
+        f"off {without.rtts_by_k[5].mean():.1f} ms"
+    )
+    assert with_local.rtts_by_k[5].mean() <= without.rtts_by_k[5].mean() + 1e-9

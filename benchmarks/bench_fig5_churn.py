@@ -1,0 +1,35 @@
+"""E3 — Figure 5: impact of BGP churn on query response times (K = 5).
+
+Paper shape: 5% lookup failures barely move the median (40.5 → 41.3 ms)
+but stretch the 95th percentile (86.1 → 129.1 ms).  Churn is a tail
+phenomenon — most queries hit their first replica; the unlucky ones pay
+extra round trips.
+"""
+
+from repro.experiments.fig5_churn import run_fig5
+
+from .conftest import once
+
+
+def test_fig5_churn_impact(benchmark, env, workload_config):
+    result = once(
+        benchmark, run_fig5, environment=env, workload_override=workload_config
+    )
+    print()
+    print(result.render())
+
+    s = result.summaries()
+    clean, mid, heavy = s[0.0], s[0.05], s[0.10]
+
+    # Monotone degradation with failure rate.
+    assert clean.mean <= mid.mean <= heavy.mean
+    assert clean.p95 <= mid.p95 <= heavy.p95
+
+    # The tail moves much more than the median (the Fig. 5 signature).
+    median_shift = heavy.median - clean.median
+    tail_shift = heavy.p95 - clean.p95
+    assert tail_shift > 2 * max(median_shift, 0.1)
+
+    # Median stays within a few ms of the clean run even at 10% (paper:
+    # +0.8 ms at 5%).
+    assert mid.median - clean.median < 0.25 * clean.median

@@ -1,0 +1,40 @@
+"""E4 — Figure 6: Normalized Load Ratio per AS (storage balance), K = 5.
+
+Paper shapes: the NLR CDF tightens around 1 as the GUID population grows
+(10^5 → 10^7); at the largest population 93% of ASs fall within
+[0.4, 1.6]; the median sits slightly above 1 because deputy-AS spillover
+from IP holes adds load beyond the proportional share.
+"""
+
+import numpy as np
+
+from repro.experiments.fig6_load import run_fig6
+
+from .conftest import once
+
+
+def test_fig6_storage_balance(benchmark, env):
+    result = once(benchmark, run_fig6, environment=env)
+    print()
+    print(result.render())
+
+    sizes = sorted(result.nlr_by_n)
+    small, large = result.nlr_by_n[sizes[0]], result.nlr_by_n[sizes[-1]]
+
+    # The CDF sharpens around 1 with scale: larger population → larger
+    # fraction of ASs close to ideal.
+    frac_small = float(((small >= 0.4) & (small <= 1.6)).mean())
+    frac_large = float(((large >= 0.4) & (large <= 1.6)).mean())
+    assert frac_large > frac_small
+
+    # Median near 1 at the largest population.
+    median_large = float(np.median(large))
+    assert 0.7 < median_large < 1.4
+
+    # Spread shrinks with scale (interquartile range contracts).
+    iqr_small = np.percentile(small, 75) - np.percentile(small, 25)
+    iqr_large = np.percentile(large, 75) - np.percentile(large, 25)
+    assert iqr_large < iqr_small
+
+    # Deputy fallback stays rare (drives only a slight median excess).
+    assert all(f < 0.005 for f in result.deputy_fraction_by_n.values())

@@ -1,0 +1,42 @@
+"""E5 — Figure 7: analytical response-time upper bound vs K.
+
+Paper shapes: every scenario's bound decreases in K with diminishing
+returns beyond a few replicas; flatter future-Internet topologies give
+uniformly lower bounds; all curves live in the ~40-100 ms band with
+c0 = 10.6, c1 = 8.3.
+"""
+
+import numpy as np
+
+from repro.experiments.fig7_analytical import run_fig7
+
+from .conftest import once
+
+
+def test_fig7_analytical_bound(benchmark):
+    result = once(benchmark, run_fig7)
+    print()
+    print(result.render())
+
+    names = list(result.bounds_by_scenario)
+    present = result.bounds_by_scenario[names[0]]
+    medium = result.bounds_by_scenario[names[1]]
+    long_term = result.bounds_by_scenario[names[2]]
+
+    # Decreasing in K, for every scenario.
+    for curve in (present, medium, long_term):
+        assert (np.diff(curve) <= 1e-9).all()
+
+    # Topology-evolution ordering at every K.
+    assert (present > medium).all()
+    assert (medium > long_term).all()
+
+    # Diminishing returns: the first 4 extra replicas buy more than the
+    # last 10 (paper: "increasing the replica number results in
+    # diminishing returns beyond a few replicas").
+    for name in names:
+        assert result.diminishing_returns_ratio(name) < 0.5
+
+    # Fig. 7's magnitude band.
+    for curve in (present, medium, long_term):
+        assert curve.min() > 35.0 and curve.max() < 105.0

@@ -1,0 +1,36 @@
+"""E7 — §III-B: IP-hole rehash probabilities and the M parameter.
+
+Paper claim: at a ~55% announcement ratio the probability of exhausting
+M = 10 rehashes is (1 - ratio)^10 ≈ 0.034%, so deputy-AS fallback is rare.
+The bench sweeps M and checks measured deputy fractions against the
+geometric model.
+"""
+
+import pytest
+
+from repro.experiments.rehash_probe import run_rehash_probe
+
+from .conftest import once
+
+
+def test_rehash_hole_probabilities(benchmark, env):
+    result = once(benchmark, run_rehash_probe, environment=env, n_samples=200_000)
+    print()
+    print(result.render())
+
+    # Announcement ratio close to the configured 52%.
+    assert result.announcement_ratio == pytest.approx(0.52, abs=0.02)
+
+    # Measured deputy fraction tracks (1 - ratio)^M at every M.
+    for m, measured in result.deputy_fraction_by_m.items():
+        analytic = result.analytic_by_m[m]
+        assert measured == pytest.approx(analytic, abs=max(0.003, 0.3 * analytic))
+
+    # At M = 10 the fallback is rare (paper: 0.034% at 55% coverage;
+    # slightly higher here at 52%).
+    assert result.deputy_fraction_by_m[10] < 0.005
+
+    # Mean attempts ≈ 1 / ratio (geometric distribution mean).
+    assert result.mean_attempts == pytest.approx(
+        1.0 / result.announcement_ratio, rel=0.05
+    )

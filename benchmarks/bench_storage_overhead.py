@@ -1,0 +1,26 @@
+"""E6 — §IV-A: storage and update-traffic overhead arithmetic.
+
+Paper numbers: 352-bit entries; 173 Mbit/AS storage (their AS-count
+denominator); ~10 Gb/s worldwide update traffic for 5 billion hosts at
+100 updates/day — "a minute fraction" of total Internet traffic.
+"""
+
+import pytest
+
+from repro.experiments.storage_overhead import run_storage_overhead
+
+from .conftest import once
+
+
+def test_storage_and_traffic_overhead(benchmark, env):
+    result = once(benchmark, run_storage_overhead, environment=env)
+    print()
+    print(result.render())
+
+    assert result.analytic["entry_bits"] == 352
+    assert result.analytic_paper_denominator_mbits == pytest.approx(173, rel=0.01)
+    assert result.analytic["update_traffic_gbps"] == pytest.approx(10.2, abs=0.2)
+    assert result.analytic["traffic_fraction_of_internet"] < 1e-6
+    # The simulated insert batch stores exactly the modelled entry size.
+    assert result.measured_mean_entry_bits == pytest.approx(352)
+    assert result.measured_mean_entries_per_as > 0

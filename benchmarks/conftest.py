@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures.
+
+Benchmarks default to the ``small`` scale so the whole harness finishes in
+minutes; set ``REPRO_SCALE=medium`` or ``REPRO_SCALE=paper`` to run closer
+to the paper's configuration (26,424 ASs / 10^5 GUIDs / 10^6 lookups).
+
+Each bench both *times* the experiment (pytest-benchmark) and *checks the
+paper's shape claims* on the result, so a green benchmark run doubles as
+a reproduction report.  The rendered tables are printed; run with ``-s``
+to see them.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import Environment, resolve_scale
+from repro.workload.generator import WorkloadConfig
+
+
+def pytest_report_header(config):
+    scale = resolve_scale(os.environ.get("REPRO_SCALE"))
+    return f"repro-dmap benchmarks at scale={scale.name} (n_as={scale.n_as})"
+
+
+@pytest.fixture(scope="session")
+def env():
+    """The benchmark substrate (cached on disk across sessions)."""
+    return Environment(resolve_scale(os.environ.get("REPRO_SCALE")), seed=0)
+
+
+@pytest.fixture(scope="session")
+def workload_config(env):
+    """Workload sized to the chosen scale."""
+    return WorkloadConfig(
+        n_guids=env.scale.n_guids, n_lookups=env.scale.n_lookups, seed=0
+    )
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Surviving a BGP churn storm (§III-D.1 protocols in action).
+
+Subjects a populated DMap deployment to a burst of prefix withdrawals and
+re-announcements, running the paper's consistency protocols after each
+event:
+
+* withdrawal → the withdrawing AS migrates affected mappings to the
+  deputy AS the IP-hole protocol now selects;
+* announcement → captured mappings migrate (lazily) to the announcing AS
+  on their first missing query.
+
+After every event the example audits that (a) every GUID still resolves
+and (b) placement converges back to what the hash functions dictate.
+It then quantifies the *query-visible* cost of stale BGP views at the
+Fig. 5 failure rates.
+
+Run: ``python examples/churn_resilience.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bgp import (
+    AllocationConfig,
+    Announcement,
+    ChurnKind,
+    ChurnScheduleGenerator,
+    generate_global_prefix_table,
+)
+from repro.core import (
+    DMapResolver,
+    GUID,
+    audit_placement,
+    handle_new_announcement,
+    prepare_withdrawal,
+    repair_mapping,
+)
+from repro.errors import LookupFailedError
+from repro.sim import ChurnFailureModel
+from repro.topology import Router, generate_internet_topology, small_scale_config
+
+N_HOSTS = 150
+CHURN_HORIZON = 60.0  # simulated seconds of schedule
+
+
+def main() -> None:
+    print("=== BGP churn storm over a live DMap deployment ===\n")
+
+    topology = generate_internet_topology(small_scale_config(n_as=300), seed=5)
+    table = generate_global_prefix_table(
+        topology.asns(), AllocationConfig(prefixes_per_as=6), seed=5
+    )
+    router = Router(topology)
+    resolver = DMapResolver(table, router, k=5)
+    rng = np.random.default_rng(9)
+    asns = topology.asns()
+
+    guids = []
+    for i in range(N_HOSTS):
+        guid = GUID.from_name(f"host-{i}")
+        home = int(rng.choice(asns))
+        resolver.insert(guid, [table.representative_address(home)], home)
+        guids.append(guid)
+    print(f"populated {N_HOSTS} hosts → {resolver.total_entries()} replica copies\n")
+
+    # --- Targeted event: withdraw a prefix that provably hosts replicas,
+    # so the §III-D.1 migration is visible (random churn mostly hits
+    # small prefixes hosting nothing at this scale).
+    target_prefix = None
+    for guid, replica_set in resolver.replica_sets.items():
+        for res in replica_set.global_replicas:
+            for prefix in table.prefixes_of(res.asn):
+                if prefix.contains(res.address):
+                    target_prefix = prefix
+                    break
+            if target_prefix:
+                break
+        if target_prefix:
+            break
+    original_owner = table.resolve(target_prefix.base).asn
+    moved = prepare_withdrawal(resolver, target_prefix)
+    print(
+        f"targeted withdrawal of {target_prefix} (AS{original_owner}): "
+        f"migrated {moved} replica copies to deputy ASs"
+    )
+    handle_new_announcement(
+        resolver, Announcement(target_prefix, original_owner), eager=True
+    )
+    print(f"re-announcement pulled the mappings back; audit: {audit_placement(resolver)}\n")
+
+    # --- Random churn storm.
+    churn = ChurnScheduleGenerator(table, announce_rate=0.4, withdraw_rate=0.4, seed=6)
+    withdrawals = announcements = migrations = 0
+    for event in churn.events(horizon=CHURN_HORIZON):
+        if event.kind is ChurnKind.WITHDRAW:
+            migrations += prepare_withdrawal(resolver, event.announcement.prefix)
+            withdrawals += 1
+        else:
+            handle_new_announcement(resolver, event.announcement, eager=False)
+            announcements += 1
+
+    print(f"churn applied: {withdrawals} withdrawals, {announcements} announcements")
+    print(f"  withdrawal protocol migrated {migrations} replica copies")
+
+    audit = audit_placement(resolver)
+    print(f"  audit after storm: {audit}")
+    assert audit["missing"] == 0, "withdrawal protocol must never lose a copy"
+
+    # Every GUID still resolves (replicas elsewhere cover lazy gaps).
+    worst = 0.0
+    for guid in guids:
+        result = resolver.lookup(guid, int(rng.choice(asns)))
+        worst = max(worst, result.rtt_ms)
+    print(f"  all {N_HOSTS} GUIDs resolvable; worst lookup {worst:.1f} ms")
+
+    # Lazy first-miss migration converges placement.
+    repaired = sum(repair_mapping(resolver, guid) for guid in guids)
+    audit = audit_placement(resolver)
+    print(f"  lazy repair moved {repaired} copies; final audit: {audit}\n")
+    assert audit["mislocated"] == 0
+
+    # Query-visible cost of stale views (the Fig. 5 knob).
+    print("query cost under stale BGP views (Fig. 5 failure model):")
+    querier_pool = [int(rng.choice(asns)) for _ in range(600)]
+    def lookup_with_retry(guid, src, probe):
+        # §III-D.2: on total failure the querier "keeps checking",
+        # carrying the time already spent into the final response time.
+        carried = 0.0
+        while True:
+            try:
+                return resolver.lookup(guid, src, probe=probe).rtt_ms + carried
+            except LookupFailedError as exc:
+                carried += exc.elapsed_ms
+
+    for rate in (0.0, 0.05, 0.10):
+        model = ChurnFailureModel(rate, seed=13)
+        probe = model.lookup_outcome if rate else None
+        rtts = [
+            lookup_with_retry(guids[i % N_HOSTS], src, probe)
+            for i, src in enumerate(querier_pool)
+        ]
+        arr = np.asarray(rtts)
+        print(
+            f"  {rate:4.0%} failures: median {np.median(arr):6.1f} ms   "
+            f"p95 {np.percentile(arr, 95):6.1f} ms"
+        )
+    print(
+        "\nThe median barely moves while the tail stretches — churn is a "
+        "tail phenomenon, exactly Fig. 5's shape."
+    )
+
+
+if __name__ == "__main__":
+    main()

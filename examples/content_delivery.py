@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Named content retrieval over DMap (the paper's Fig. 1 "VideoB" case).
+
+GUIDs "need not be tied to a particular device": a piece of content gets a
+GUID mapped to the network addresses of every replica server hosting it
+(multiple simultaneous locators, like the multi-homed device of Fig. 1).
+Clients across the world resolve the content GUID — Mandelbrot-Zipf
+popular content dominates the query stream — and fetch from the locator
+whose AS is closest.
+
+The example measures how K (mapping replication) and content-server count
+independently cut the end-to-end "time to first byte" (resolution RTT +
+one-way fetch path setup).
+
+Run: ``python examples/content_delivery.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bgp import AllocationConfig, generate_global_prefix_table
+from repro.core import DMapResolver, GUID
+from repro.topology import Router, generate_internet_topology, small_scale_config
+from repro.workload import MandelbrotZipf, SourceSampler
+
+N_CONTENT = 200
+N_REQUESTS = 4000
+
+
+def main() -> None:
+    print("=== content delivery over DMap ===\n")
+
+    topology = generate_internet_topology(small_scale_config(n_as=400), seed=23)
+    table = generate_global_prefix_table(
+        topology.asns(), AllocationConfig(prefixes_per_as=6), seed=23
+    )
+    router = Router(topology)
+    rng = np.random.default_rng(3)
+    asns = np.asarray(topology.asns())
+
+    popularity = MandelbrotZipf(N_CONTENT)  # paper Eq. 1, alpha=1.02 q=100
+    clients = SourceSampler(topology, rng)
+
+    for n_servers, k in [(1, 1), (1, 5), (3, 5), (5, 5)]:
+        resolver = DMapResolver(table, router, k=k)
+
+        # Publish every content item from n_servers replica servers; the
+        # mapping carries one locator per server (≤5, §IV-A).
+        server_asns = {}
+        for rank in range(1, N_CONTENT + 1):
+            guid = GUID.from_name(f"video-{rank}")
+            servers = [int(a) for a in rng.choice(asns, size=n_servers, replace=False)]
+            locators = [table.representative_address(a) for a in servers]
+            resolver.insert(guid, locators, servers[0])
+            server_asns[guid] = servers
+
+        # Popularity-weighted request stream from population-weighted ASs.
+        ranks = popularity.sample_ranks(N_REQUESTS, rng)
+        sources = clients.sample(N_REQUESTS)
+        ttfb = []
+        for rank, src in zip(ranks.tolist(), sources.tolist()):
+            guid = GUID.from_name(f"video-{rank}")
+            src = int(src)
+            result = resolver.lookup(guid, src)
+            # Client picks the closest content server among the locators.
+            fetch_setup = min(
+                router.one_way_ms(src, a) for a in server_asns[guid]
+            )
+            ttfb.append(result.rtt_ms + fetch_setup)
+
+        arr = np.asarray(ttfb)
+        print(
+            f"servers={n_servers}  K={k}:  time-to-first-byte "
+            f"mean {arr.mean():6.1f} ms   median {np.median(arr):6.1f} ms   "
+            f"p95 {np.percentile(arr, 95):6.1f} ms"
+        )
+
+    print(
+        "\nBoth knobs help independently: K cuts the resolution term "
+        "(closest mapping replica), server count cuts the fetch term "
+        "(closest content replica)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Reproduction of "DMap: A Shared Hosting Scheme for Dynamic Identifier
+to Locator Mappings in the Global Internet" (Vu et al., ICDCS 2012).
+
+DMap stores GUID→NA mappings inside the routing substrate: K consistent
+hash functions map a flat identifier directly to K network addresses, and
+the ASs announcing those addresses (per the global BGP table) host the
+replicas — a single overlay hop, no DHT maintenance state.
+
+See :mod:`repro.experiments` for drivers that regenerate every table and
+figure in the paper's evaluation, and ``examples/quickstart.py`` for a
+guided tour of the public API.
+"""
+
+from . import bgp, core, hashing
+from .errors import DMapError
+from .service import DMapNetwork
+from .version import __version__
+
+__all__ = ["bgp", "core", "hashing", "DMapNetwork", "DMapError", "__version__"]

@@ -1,0 +1,106 @@
+"""Storage and update-traffic overhead model (§IV-A).
+
+The paper's arithmetic, made explicit and parametric:
+
+* a mapping entry is ``160 + 5*32 + 32 = 352`` bits (GUID + 5 locator
+  slots + metadata);
+* 5 billion GUIDs at replication K = 5, spread proportionally to
+  announced address space, cost each AS a modest slice of storage
+  (the paper reports 173 Mbit/AS for its AS count);
+* 5 billion mobile hosts updating 100 times/day at K = 5 generate about
+  10 Gb/s of update traffic worldwide — "a minute fraction" of total
+  Internet traffic (~5 * 10^7 Gb/s in 2010).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.guid import ADDRESS_BITS, GUID_BITS, MAX_LOCATORS
+from ..core.mapping import METADATA_BITS
+from ..errors import ConfigurationError
+
+#: §IV-A baseline assumptions.
+PAPER_N_GUIDS = 5_000_000_000
+PAPER_K = 5
+PAPER_UPDATES_PER_DAY = 100.0
+PAPER_INTERNET_TRAFFIC_GBPS = 50e6  # ~50 million Gb/s as of 2010 (§IV-A)
+
+
+def entry_size_bits(
+    guid_bits: int = GUID_BITS,
+    max_locators: int = MAX_LOCATORS,
+    locator_bits: int = ADDRESS_BITS,
+    metadata_bits: int = METADATA_BITS,
+) -> int:
+    """Size of one mapping entry — 352 bits with paper defaults."""
+    if min(guid_bits, max_locators, locator_bits, metadata_bits) < 0:
+        raise ConfigurationError("entry size components must be non-negative")
+    return guid_bits + max_locators * locator_bits + metadata_bits
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Parametric §IV-A overhead calculator.
+
+    Attributes mirror the paper's stated assumptions; override any of
+    them to explore growth scenarios ("even if it is multiplied several
+    times to include non-mobile devices as well as future growth").
+    """
+
+    n_guids: float = PAPER_N_GUIDS
+    k: int = PAPER_K
+    n_as: int = 26_424
+    updates_per_day: float = PAPER_UPDATES_PER_DAY
+    entry_bits: int = entry_size_bits()
+
+    def __post_init__(self) -> None:
+        if self.n_guids < 0 or self.k < 1 or self.n_as < 1:
+            raise ConfigurationError("invalid overhead model parameters")
+        if self.updates_per_day < 0 or self.entry_bits <= 0:
+            raise ConfigurationError("invalid overhead model parameters")
+
+    # -- storage ---------------------------------------------------------
+    def total_storage_bits(self) -> float:
+        """All replica copies worldwide."""
+        return self.n_guids * self.k * self.entry_bits
+
+    def storage_per_as_bits(self) -> float:
+        """Mean per-AS storage under proportional distribution."""
+        return self.total_storage_bits() / self.n_as
+
+    def storage_per_as_mbits(self) -> float:
+        """Per-AS storage in Mbit (the paper's 173 Mbit headline unit)."""
+        return self.storage_per_as_bits() / 1e6
+
+    # -- update traffic ----------------------------------------------------
+    def updates_per_second(self) -> float:
+        """Worldwide GUID Update rate."""
+        return self.n_guids * self.updates_per_day / 86_400.0
+
+    def update_traffic_gbps(self) -> float:
+        """Worldwide update traffic: each update fans out to K replicas."""
+        return self.updates_per_second() * self.k * self.entry_bits / 1e9
+
+    def traffic_fraction_of_internet(
+        self, internet_gbps: float = PAPER_INTERNET_TRAFFIC_GBPS
+    ) -> float:
+        """Update traffic as a share of total Internet traffic."""
+        if internet_gbps <= 0:
+            raise ConfigurationError("internet_gbps must be positive")
+        return self.update_traffic_gbps() / internet_gbps
+
+    # -- reporting ---------------------------------------------------------
+    def report(self) -> Dict[str, float]:
+        """All §IV-A quantities in one dict (drives the overhead bench)."""
+        return {
+            "entry_bits": float(self.entry_bits),
+            "n_guids": float(self.n_guids),
+            "k": float(self.k),
+            "total_storage_tbits": self.total_storage_bits() / 1e12,
+            "storage_per_as_mbits": self.storage_per_as_mbits(),
+            "updates_per_second": self.updates_per_second(),
+            "update_traffic_gbps": self.update_traffic_gbps(),
+            "traffic_fraction_of_internet": self.traffic_fraction_of_internet(),
+        }

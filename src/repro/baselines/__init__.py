@@ -1,0 +1,17 @@
+"""Baseline mapping schemes the paper compares DMap against (§II-B, §VI)."""
+
+from .base import BaselineLookup, BaselineResolver
+from .dht import ChordDHT, RING_BITS
+from .dns_like import DNSLike
+from .mobileip import MobileIP
+from .onehop_dht import OneHopDHT
+
+__all__ = [
+    "BaselineLookup",
+    "BaselineResolver",
+    "ChordDHT",
+    "RING_BITS",
+    "DNSLike",
+    "MobileIP",
+    "OneHopDHT",
+]

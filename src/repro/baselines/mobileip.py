@@ -1,0 +1,93 @@
+"""MobileIP home-agent baseline (§II-B).
+
+"The mapping scheme of MobileIP incurs high overhead since all mappings
+are resolved by the home agent regardless of its distance to
+correspondents.  A home agent acting as a relaying node on the data plane
+in tunnelling mode makes MobileIP not scalable" (§II-B).  DMap explicitly
+"does not require a home agent" (§I).
+
+This baseline anchors each GUID at the AS where it was first registered
+(its home network).  Two costs are modelled:
+
+* **binding query** — a correspondent asks the home agent for the current
+  care-of locator: one round trip to the home AS, however far it is;
+* **triangle routing** — in tunnelling mode the data path is
+  correspondent → home agent → current AS, versus the direct path; the
+  stretch quantifies the data-plane penalty DMap avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..core.guid import GUID, NetworkAddress
+from ..core.mapping import MappingEntry, MappingStore
+from ..errors import MappingNotFoundError
+from ..topology.routing import Router
+from .base import BaselineLookup, BaselineResolver
+
+
+class MobileIP(BaselineResolver):
+    """Home-agent mapping: first registration pins the home AS forever."""
+
+    name = "mobile-ip"
+
+    def __init__(self, router: Router) -> None:
+        self.router = router
+        self._home: Dict[GUID, int] = {}
+        self._current: Dict[GUID, int] = {}
+        self.stores: Dict[int, MappingStore] = {}
+
+    def _store_at(self, asn: int) -> MappingStore:
+        store = self.stores.get(asn)
+        if store is None:
+            store = MappingStore(owner_asn=asn)
+            self.stores[asn] = store
+        return store
+
+    def home_of(self, guid: GUID) -> int:
+        """The GUID's home AS (raises if never registered)."""
+        try:
+            return self._home[guid]
+        except KeyError as exc:
+            raise MappingNotFoundError(guid) from exc
+
+    def insert(
+        self, guid: GUID, locators: Sequence[NetworkAddress], source_asn: int
+    ) -> float:
+        """Register (first call fixes the home) or update the binding.
+
+        The update always travels to the home agent — a host that roamed
+        far from home pays the full distance on every move, which is the
+        scalability problem the paper highlights.
+        """
+        home = self._home.setdefault(guid, source_asn)
+        self._current[guid] = source_asn
+        self._store_at(home).insert(MappingEntry(guid, tuple(locators)))
+        return self.router.rtt_ms(source_asn, home)
+
+    def lookup(self, guid: GUID, source_asn: int) -> BaselineLookup:
+        """Binding query to the home agent."""
+        home = self.home_of(guid)
+        entry = self._store_at(home).get(guid)
+        if entry is None:
+            raise MappingNotFoundError(guid, home)
+        return BaselineLookup(
+            entry.locators, self.router.rtt_ms(source_asn, home), overlay_hops=1
+        )
+
+    def triangle_stretch(self, guid: GUID, correspondent_asn: int) -> float:
+        """Data-plane stretch of tunnelling mode.
+
+        ``(correspondent→home→current) / (correspondent→current)`` one-way
+        latencies; 1.0 means no penalty.  The GUID must be registered.
+        """
+        home = self.home_of(guid)
+        current = self._current[guid]
+        direct = self.router.one_way_ms(correspondent_asn, current)
+        relayed = self.router.one_way_ms(correspondent_asn, home) + self.router.one_way_ms(
+            home, current
+        )
+        if direct <= 0:
+            return 1.0
+        return relayed / direct

@@ -1,0 +1,98 @@
+"""One-hop DHT baseline (D1HT / one-hop-lookups style, §II-B).
+
+One-hop DHTs give every node a complete membership table, so a lookup is
+a single overlay hop — the same latency class as DMap — but the table
+must be kept complete: every join/leave event is broadcast to all N
+nodes.  The paper's argument (§II-B) is that such schemes "invariably
+introduce a fundamental tradeoff between service latency and
+table/maintenance overhead"; DMap gets the single hop *without* that
+overhead by reusing BGP reachability state that routers already maintain.
+
+This implementation hashes GUIDs onto the same ring as
+:class:`~repro.baselines.dht.ChordDHT` but routes directly, and exposes
+the membership-maintenance bandwidth formula so the tradeoff is
+quantifiable.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Sequence
+
+from ..core.guid import GUID, NetworkAddress
+from ..core.mapping import MappingEntry, MappingStore
+from ..errors import ConfigurationError, MappingNotFoundError
+from ..topology.routing import Router
+from .base import BaselineLookup, BaselineResolver
+from .dht import _ring_hash
+
+
+class OneHopDHT(BaselineResolver):
+    """Full-membership single-hop DHT over all ASs.
+
+    Parameters
+    ----------
+    router:
+        Underlay latency oracle.
+    churn_events_per_node_per_hour:
+        Node join/leave rate driving membership broadcasts.
+    """
+
+    name = "one-hop-dht"
+
+    def __init__(
+        self,
+        router: Router,
+        churn_events_per_node_per_hour: float = 1.0,
+    ) -> None:
+        if churn_events_per_node_per_hour < 0:
+            raise ConfigurationError("churn rate must be non-negative")
+        self.router = router
+        self.churn_rate = churn_events_per_node_per_hour
+        asns = router.topology.asns()
+        if len(asns) < 2:
+            raise ConfigurationError("one-hop DHT needs at least 2 nodes")
+        positioned = sorted((_ring_hash(str(a).encode()), a) for a in asns)
+        self._positions = [p for p, _ in positioned]
+        self._position_asns = [a for _, a in positioned]
+        self.n = len(asns)
+        self.stores: Dict[int, MappingStore] = {}
+
+    def _owner_of(self, guid: GUID) -> int:
+        idx = bisect.bisect_left(self._positions, _ring_hash(guid.to_bytes())) % self.n
+        return self._position_asns[idx]
+
+    def _store_at(self, asn: int) -> MappingStore:
+        store = self.stores.get(asn)
+        if store is None:
+            store = MappingStore(owner_asn=asn)
+            self.stores[asn] = store
+        return store
+
+    def insert(
+        self, guid: GUID, locators: Sequence[NetworkAddress], source_asn: int
+    ) -> float:
+        owner = self._owner_of(guid)
+        self._store_at(owner).insert(MappingEntry(guid, tuple(locators)))
+        return self.router.rtt_ms(source_asn, owner)
+
+    def lookup(self, guid: GUID, source_asn: int) -> BaselineLookup:
+        owner = self._owner_of(guid)
+        entry = self._store_at(owner).get(guid)
+        if entry is None:
+            raise MappingNotFoundError(guid, owner)
+        return BaselineLookup(
+            entry.locators, self.router.rtt_ms(source_asn, owner), overlay_hops=1
+        )
+
+    def maintenance_overhead_bps(self) -> float:
+        """Membership-broadcast traffic per node (bits/s).
+
+        Every churn event (~256 bits: node id + address + signature
+        fragment) must reach all N nodes; with event rate ``r`` per node
+        per hour, each node receives ``N * r`` notifications per hour.
+        Grows linearly with system size — the scalability wall the paper
+        contrasts with DMap's zero-maintenance design.
+        """
+        events_per_second = self.n * self.churn_rate / 3600.0
+        return events_per_second * 256.0

@@ -1,0 +1,184 @@
+"""BGP churn: prefix announcements and withdrawals over time.
+
+§III-D.1 analyzes how DMap copes with changes in the global prefix table:
+
+* a **withdrawal** strands every mapping hosted under the withdrawn prefix
+  ("orphan mappings"); the withdrawing AS migrates them to the deputy AS
+  that the IP-hole protocol will now select;
+* a **new announcement** captures hashed values that previously fell into
+  a hole; the first query to the announcing AS triggers a one-time
+  migration from the old deputy.
+
+This module provides (a) a Poisson churn-schedule generator (announcements
+dominating withdrawals, as the cited long-term churn study observed), and
+(b) perturbed *inconsistent views* of the prefix table, modelling BGP
+convergence lag at a query origin — the mechanism behind the Fig. 5
+experiment, where a query that consults a stale table can reach an AS that
+does not host the mapping and must retry the next replica.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .prefix import Announcement
+from .table import GlobalPrefixTable
+
+
+class ChurnKind(enum.Enum):
+    """The two prefix-table mutations BGP churn produces."""
+
+    ANNOUNCE = "announce"
+    WITHDRAW = "withdraw"
+
+
+@dataclass(frozen=True, order=True)
+class ChurnEvent:
+    """A timestamped prefix-table mutation."""
+
+    time: float
+    kind: ChurnKind
+    announcement: Announcement
+
+    def apply(self, table: GlobalPrefixTable) -> None:
+        """Apply this mutation to ``table``."""
+        if self.kind is ChurnKind.ANNOUNCE:
+            table.announce(self.announcement)
+        else:
+            table.withdraw(self.announcement.prefix)
+
+
+class ChurnScheduleGenerator:
+    """Poisson process over announce/withdraw events.
+
+    Parameters
+    ----------
+    table:
+        The current table; withdrawals are drawn from it, announcements
+        re-use withdrawn prefixes or mint fresh ones inside current holes.
+    announce_rate, withdraw_rate:
+        Events per simulated second.  The paper (citing the BGP-churn
+        evolution study) notes new announcements dominate withdrawals,
+        so the defaults keep ``announce_rate > withdraw_rate``.
+    seed:
+        Private RNG seed.
+    """
+
+    def __init__(
+        self,
+        table: GlobalPrefixTable,
+        announce_rate: float = 0.02,
+        withdraw_rate: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        if announce_rate < 0 or withdraw_rate < 0:
+            raise ConfigurationError("churn rates must be non-negative")
+        if announce_rate + withdraw_rate == 0:
+            raise ConfigurationError("at least one churn rate must be positive")
+        self.table = table
+        self.announce_rate = announce_rate
+        self.withdraw_rate = withdraw_rate
+        self.rng = np.random.default_rng(seed)
+        # Withdrawn announcements become candidates for re-announcement,
+        # which is the common churn pattern (flapping).
+        self._withdrawn_pool: List[Announcement] = []
+
+    def events(self, horizon: float) -> Iterator[ChurnEvent]:
+        """Yield churn events with arrival times in ``[0, horizon)``.
+
+        Events are generated lazily and are consistent: a withdrawal only
+        targets a currently-announced prefix, an announcement only a
+        currently-free one.  The caller is expected to ``apply`` each event
+        (directly or through the simulation) before consuming the next.
+        """
+        total_rate = self.announce_rate + self.withdraw_rate
+        time = 0.0
+        while True:
+            time += float(self.rng.exponential(1.0 / total_rate))
+            if time >= horizon:
+                return
+            if self.rng.random() < self.withdraw_rate / total_rate:
+                event = self._make_withdrawal(time)
+            else:
+                event = self._make_announcement(time)
+            if event is not None:
+                yield event
+
+    def _make_withdrawal(self, time: float) -> Optional[ChurnEvent]:
+        asns = self.table.asns()
+        if not asns:
+            return None
+        asn = int(self.rng.choice(np.asarray(asns, dtype=np.int64)))
+        prefixes = self.table.prefixes_of(asn)
+        if not prefixes:
+            return None
+        prefix = prefixes[int(self.rng.integers(0, len(prefixes)))]
+        ann = Announcement(prefix, asn)
+        self._withdrawn_pool.append(ann)
+        return ChurnEvent(time, ChurnKind.WITHDRAW, ann)
+
+    def _make_announcement(self, time: float) -> Optional[ChurnEvent]:
+        # Prefer re-announcing a previously withdrawn prefix (flap);
+        # otherwise there is nothing safe to announce without a hole map,
+        # so fall back to a withdrawal-driven flap only.
+        while self._withdrawn_pool:
+            pick = int(self.rng.integers(0, len(self._withdrawn_pool)))
+            self._withdrawn_pool[pick], self._withdrawn_pool[-1] = (
+                self._withdrawn_pool[-1],
+                self._withdrawn_pool[pick],
+            )
+            ann = self._withdrawn_pool.pop()
+            if ann.prefix not in self.table:
+                return ChurnEvent(time, ChurnKind.ANNOUNCE, ann)
+        return None
+
+
+def perturb_view(
+    table: GlobalPrefixTable,
+    fraction: float,
+    seed: int = 0,
+) -> Tuple[GlobalPrefixTable, List[Announcement]]:
+    """Build an *inconsistent view* of ``table`` for a lagging query origin.
+
+    A random ``fraction`` of announcements is withdrawn from the copy —
+    from the origin's point of view those prefixes moved (were withdrawn
+    and possibly re-announced elsewhere) after its last BGP update, so any
+    hashed value landing in them resolves to the wrong AS.
+
+    Returns the perturbed copy and the list of announcements it is missing.
+    Used by integration tests; the Fig. 5 experiment models the same effect
+    with a per-replica failure probability, exactly as the paper's
+    "percentage of prefixes that are newly announced or withdrawn" knob.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError("fraction must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    view = table.copy()
+    announcements = sorted(table)
+    n_perturb = int(round(fraction * len(announcements)))
+    if n_perturb == 0:
+        return view, []
+    picked_idx = rng.choice(len(announcements), size=n_perturb, replace=False)
+    removed: List[Announcement] = []
+    for idx in sorted(int(i) for i in picked_idx):
+        ann = announcements[idx]
+        view.withdraw(ann.prefix)
+        removed.append(ann)
+    return view, removed
+
+
+def churned_fraction(
+    reference: GlobalPrefixTable, view: GlobalPrefixTable
+) -> float:
+    """Fraction of reference announcements absent from ``view`` — a
+    convergence-lag measure used in tests."""
+    reference_set = set(reference)
+    if not reference_set:
+        return 0.0
+    view_set = set(view)
+    return len(reference_set - view_set) / len(reference_set)

@@ -1,0 +1,137 @@
+"""Replica placement bookkeeping and replica-selection policies.
+
+DMap stores K copies of each mapping at the ASs that Algorithm 1 derives,
+plus (optionally) a *local* copy at the AS the GUID currently attaches to
+(§III-C).  At lookup time the querying node picks the replica expected to
+respond fastest; the paper evaluates two selection criteria:
+
+* ``"latency"`` — lowest estimated response time (their headline results;
+  they note "the querying node has sufficient information to choose the
+  location with the lowest response time", §IV-B.2);
+* ``"hops"`` — least AS-path hop count, which is what BGP actually exposes
+  today; the paper reports "similar results albeit with marginally
+  increased latencies".
+
+``"random"`` is included as a null policy for ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..hashing.rehash import HashResolution
+from ..topology.routing import Router
+from .guid import GUID
+
+#: Selection policies understood by :class:`ReplicaSelector`.
+SELECTION_POLICIES = ("latency", "hops", "random")
+
+
+@dataclass(frozen=True)
+class ReplicaSet:
+    """Where the replicas of one GUID live right now.
+
+    Attributes
+    ----------
+    guid:
+        The mapped identifier.
+    global_replicas:
+        K resolutions in hash-function order (AS may repeat if two hash
+        chains land in the same AS).
+    local_asn:
+        AS holding the additional local copy (§III-C), if enabled.
+    """
+
+    guid: GUID
+    global_replicas: Tuple[HashResolution, ...]
+    local_asn: Optional[int] = None
+
+    @property
+    def global_asns(self) -> Tuple[int, ...]:
+        """Hosting AS numbers of the K global replicas, in replica order."""
+        return tuple(res.asn for res in self.global_replicas)
+
+    @property
+    def all_asns(self) -> Tuple[int, ...]:
+        """Global replica ASs plus the local-copy AS (deduplicated,
+        preserving order)."""
+        seen: Dict[int, None] = {}
+        for asn in self.global_asns:
+            seen.setdefault(asn, None)
+        if self.local_asn is not None:
+            seen.setdefault(self.local_asn, None)
+        return tuple(seen)
+
+
+class ReplicaSelector:
+    """Orders candidate replica ASs for a querying node.
+
+    Parameters
+    ----------
+    router:
+        Latency/hop oracle over the topology.
+    policy:
+        One of :data:`SELECTION_POLICIES`.
+    rng:
+        Only used by the ``"random"`` policy.
+    """
+
+    def __init__(
+        self,
+        router: Router,
+        policy: str = "latency",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if policy not in SELECTION_POLICIES:
+            raise ConfigurationError(
+                f"unknown policy {policy!r}; expected one of {SELECTION_POLICIES}"
+            )
+        self.router = router
+        self.policy = policy
+        self.rng = rng or np.random.default_rng(0)
+
+    def order_candidates(
+        self, source_asn: int, candidate_asns: Sequence[int]
+    ) -> List[int]:
+        """Candidates sorted best-first under the policy.
+
+        Duplicates are removed (two hash functions landing in one AS give
+        a single queryable host).  The order determines the retry sequence
+        after a timeout or a "GUID missing" reply (§III-D.3).
+        """
+        unique: List[int] = []
+        seen = set()
+        for asn in candidate_asns:
+            if asn not in seen:
+                seen.add(asn)
+                unique.append(asn)
+        if not unique:
+            raise ConfigurationError("no candidate replicas to order")
+        if self.policy == "random":
+            order = self.rng.permutation(len(unique))
+            return [unique[i] for i in order]
+        if self.policy == "latency":
+            latencies = self.router.one_way_to_many(
+                source_asn, np.asarray(unique, dtype=np.int64)
+            )
+            ranked = np.argsort(latencies, kind="stable")
+            return [unique[int(i)] for i in ranked]
+        # hops
+        row = self.router.hop_row(source_asn)
+        topo = self.router.topology
+        src_idx = topo.index_of(source_asn)
+        hop_counts = []
+        for asn in unique:
+            idx = topo.index_of(asn)
+            hop_counts.append(0.0 if idx == src_idx else float(row[idx]))
+        ranked = np.argsort(np.asarray(hop_counts), kind="stable")
+        return [unique[int(i)] for i in ranked]
+
+    def best_rtt_ms(self, source_asn: int, candidate_asns: Sequence[int]) -> float:
+        """Round-trip time to the best candidate under the policy."""
+        best = self.order_candidates(source_asn, candidate_asns)[0]
+        return self.router.rtt_ms(source_asn, best)

@@ -1,0 +1,343 @@
+"""The DMap resolver: GUID Insert / Update / Lookup over shared hosting.
+
+This is the paper's contribution (§III).  A border gateway receiving a
+request:
+
+1. applies the K agreed-upon hash functions to the GUID;
+2. resolves each hashed value to an announced prefix via its BGP table,
+   re-hashing through IP holes (Algorithm 1);
+3. sends the insert/update to all K hosting ASs *in parallel* — the update
+   latency is the **max** of the K round trips — or sends the lookup to
+   the best replica, falling back to the next ones on failure: the lookup
+   latency is the round trip to the chosen replica, plus any failed
+   attempts before it (§III-A, §III-D.3);
+4. optionally maintains an extra *local* replica in the GUID's current
+   attachment AS, queried in parallel with the global lookup (§III-C).
+
+:class:`DMapResolver` executes this protocol instantly and *accounts* for
+the time each step would take on the topology (the same arithmetic the
+paper's event simulator performs); :mod:`repro.sim` replays the identical
+protocol through a true discrete-event engine with queues and timeouts,
+and the two are cross-checked in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..bgp.table import GlobalPrefixTable
+from ..errors import ConfigurationError, LookupFailedError, MappingNotFoundError
+from ..hashing.hashers import HashFamily, Sha256Hasher
+from ..hashing.rehash import DEFAULT_MAX_REHASHES, GuidPlacer
+from ..topology.routing import Router
+from .guid import GUID, NetworkAddress, guid_like
+from .mapping import MappingEntry, MappingStore
+from .replication import ReplicaSelector, ReplicaSet
+
+#: Lookup attempt outcomes (see :class:`Attempt`).
+OUTCOME_HIT = "hit"
+OUTCOME_MISSING = "missing"
+OUTCOME_TIMEOUT = "timeout"
+
+#: An availability oracle: maps (asn, guid) to one of the outcomes above.
+#: Used to inject BGP-churn staleness and router failures (Fig. 5, §III-D).
+AvailabilityProbe = Callable[[int, GUID], str]
+
+#: Paper-informed retry timeout: WiFi/IP handoff protocols are "on the
+#: order of 0.5-1 second" (§IV-B.2a); we time out a dead replica at 1 s.
+DEFAULT_TIMEOUT_MS = 1000.0
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One contact with a replica during a lookup."""
+
+    asn: int
+    outcome: str
+    cost_ms: float
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of a successful GUID lookup.
+
+    Attributes
+    ----------
+    entry:
+        The mapping that was found.
+    rtt_ms:
+        Full round-trip response time, including failed attempts.
+    served_by:
+        AS that answered.
+    attempts:
+        Every replica contacted, in order.
+    used_local:
+        Whether the parallel local-replica query won the race (§III-C).
+    """
+
+    entry: MappingEntry
+    rtt_ms: float
+    served_by: int
+    attempts: Tuple[Attempt, ...]
+    used_local: bool
+
+    @property
+    def locators(self) -> Tuple[NetworkAddress, ...]:
+        """Locators bound to the GUID."""
+        return self.entry.locators
+
+
+@dataclass(frozen=True)
+class WriteResult:
+    """Outcome of an insert or update.
+
+    ``rtt_ms`` is the slowest of the K parallel replica writes — the time
+    after which the new binding is globally visible (§III-A).
+    """
+
+    replica_set: ReplicaSet
+    rtt_ms: float
+    per_replica_rtt_ms: Tuple[float, ...]
+
+
+class DMapResolver:
+    """In-memory execution of the DMap protocol over a topology + BGP table.
+
+    Parameters
+    ----------
+    table:
+        Global BGP prefix table (every gateway's routing view).
+    router:
+        Latency/hop oracle; also identifies the participating ASs.
+    k:
+        Replication factor (ignored if ``hash_family`` is given).
+    hash_family:
+        The pre-agreed hash functions; defaults to salted SHA-256.
+    selection_policy:
+        Replica-choice criterion: ``"latency"`` (paper default),
+        ``"hops"`` or ``"random"``.
+    local_replica:
+        Maintain the extra attachment-AS copy of §III-C.
+    max_rehashes:
+        M of Algorithm 1.
+    timeout_ms:
+        Floor for the adaptive replica timeout (§III-D.3).
+    placer:
+        Override the placement scheme: anything exposing ``k``,
+        ``resolve_one``, ``resolve_all`` and ``hosting_asns`` (e.g. the
+        §VII variants in :mod:`repro.hashing.asnum_placer`).  Defaults to
+        address-space hashing (Algorithm 1).
+    """
+
+    def __init__(
+        self,
+        table: GlobalPrefixTable,
+        router: Router,
+        k: int = 5,
+        hash_family: Optional[HashFamily] = None,
+        selection_policy: str = "latency",
+        local_replica: bool = True,
+        max_rehashes: int = DEFAULT_MAX_REHASHES,
+        timeout_ms: float = DEFAULT_TIMEOUT_MS,
+        selection_rng: Optional[np.random.Generator] = None,
+        placer=None,
+    ) -> None:
+        if timeout_ms <= 0:
+            raise ConfigurationError("timeout_ms must be positive")
+        self.table = table
+        self.router = router
+        self.hash_family = hash_family or Sha256Hasher(k, address_bits=table.bits)
+        self.placer = placer or GuidPlacer(self.hash_family, table, max_rehashes)
+        self.selector = ReplicaSelector(router, selection_policy, selection_rng)
+        self.local_replica = local_replica
+        self.timeout_ms = timeout_ms
+        self.stores: Dict[int, MappingStore] = {}
+        # Instrumentation: current placement of every inserted GUID.  Real
+        # DMap routers derive this statelessly; the registry exists so
+        # experiments and the churn protocol can enumerate affected GUIDs.
+        self.replica_sets: Dict[GUID, ReplicaSet] = {}
+
+    # ------------------------------------------------------------------
+    # Store plumbing
+    # ------------------------------------------------------------------
+    def store_at(self, asn: int) -> MappingStore:
+        """The mapping store of ``asn`` (created on first use)."""
+        store = self.stores.get(asn)
+        if store is None:
+            store = MappingStore(owner_asn=asn)
+            self.stores[asn] = store
+        return store
+
+    @property
+    def k(self) -> int:
+        """Replication factor."""
+        return self.placer.k
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        guid: Union[GUID, int, str],
+        locators: Sequence[NetworkAddress],
+        source_asn: int,
+        time: float = 0.0,
+    ) -> WriteResult:
+        """GUID Insert: create the binding at the K derived ASs.
+
+        ``source_asn`` is the AS the host is attached to; with
+        ``local_replica`` enabled it also receives a copy (§III-C).
+        """
+        guid = guid_like(guid)
+        entry = MappingEntry(guid, tuple(locators), version=0, timestamp=time)
+        return self._write(entry, source_asn)
+
+    def update(
+        self,
+        guid: Union[GUID, int, str],
+        locators: Sequence[NetworkAddress],
+        source_asn: int,
+        time: float = 0.0,
+    ) -> WriteResult:
+        """GUID Update: re-bind after a move / locator change.
+
+        Processed like an insert (§III-A); the version is advanced past
+        the newest replica we previously wrote so stale copies lose.
+        """
+        guid = guid_like(guid)
+        version = 0
+        previous = self.replica_sets.get(guid)
+        if previous is not None:
+            for asn in previous.all_asns:
+                existing = self.store_at(asn).get(guid)
+                if existing is not None:
+                    version = max(version, existing.version + 1)
+            if previous.local_asn is not None and previous.local_asn != source_asn:
+                # The host left its old AS; the old local copy is retired.
+                self.store_at(previous.local_asn).delete(guid)
+        entry = MappingEntry(guid, tuple(locators), version=version, timestamp=time)
+        return self._write(entry, source_asn)
+
+    def _write(self, entry: MappingEntry, source_asn: int) -> WriteResult:
+        resolutions = self.placer.resolve_all(entry.guid)
+        rtts: List[float] = []
+        for res in resolutions:
+            self.store_at(res.asn).insert(entry)
+            rtts.append(self.router.rtt_ms(source_asn, res.asn))
+        local_asn: Optional[int] = None
+        if self.local_replica:
+            local_asn = source_asn
+            self.store_at(source_asn).insert(entry)
+            # Local write is intra-AS; it never dominates the parallel max.
+        replica_set = ReplicaSet(entry.guid, tuple(resolutions), local_asn)
+        self.replica_sets[entry.guid] = replica_set
+        return WriteResult(replica_set, max(rtts), tuple(rtts))
+
+    def delete(self, guid: Union[GUID, int, str]) -> int:
+        """Remove a GUID's replicas everywhere; returns copies deleted."""
+        guid = guid_like(guid)
+        replica_set = self.replica_sets.pop(guid, None)
+        removed = 0
+        asns: Iterable[int]
+        if replica_set is not None:
+            asns = replica_set.all_asns
+        else:  # stateless fallback: derive from hashing
+            asns = set(self.placer.hosting_asns(guid))
+        for asn in asns:
+            if self.store_at(asn).delete(guid):
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def lookup(
+        self,
+        guid: Union[GUID, int, str],
+        source_asn: int,
+        probe: Optional[AvailabilityProbe] = None,
+    ) -> LookupResult:
+        """GUID Lookup from a host attached to ``source_asn``.
+
+        The local and global lookups race in parallel (§III-C); the global
+        side walks replicas best-first, paying a full round trip for each
+        "GUID missing" reply and ``timeout_ms`` for each dead AS
+        (§III-D.3).  ``probe`` injects churn/failure outcomes; by default
+        every replica that stores the mapping answers.
+
+        Raises
+        ------
+        LookupFailedError
+            If every replica fails.
+        """
+        guid = guid_like(guid)
+        candidates = self.placer.hosting_asns(guid)
+        ordered = self.selector.order_candidates(source_asn, candidates)
+
+        # Parallel local branch: a same-AS copy answers in the intra-AS RTT.
+        local_time: Optional[float] = None
+        local_entry: Optional[MappingEntry] = None
+        # Churn staleness does not affect the local branch: the querier and
+        # the local store share one BGP view (same convention as the DES).
+        if self.local_replica:
+            local_entry = self.store_at(source_asn).get(guid)
+            if local_entry is not None:
+                local_time = 2.0 * self.router.topology.intra_latency(source_asn)
+
+        attempts: List[Attempt] = []
+        elapsed = 0.0
+        for asn in ordered:
+            rtt = self.router.rtt_ms(source_asn, asn)
+            outcome = OUTCOME_HIT
+            if probe is not None:
+                outcome = probe(asn, guid)
+            if outcome == OUTCOME_HIT:
+                try:
+                    entry = self.store_at(asn).lookup(guid)
+                except MappingNotFoundError:
+                    outcome = OUTCOME_MISSING
+            if outcome == OUTCOME_HIT:
+                elapsed += rtt
+                attempts.append(Attempt(asn, OUTCOME_HIT, rtt))
+                if (
+                    local_time is not None
+                    and local_entry is not None
+                    and local_time < elapsed
+                ):
+                    # The parallel local query answered first (§III-C).
+                    return LookupResult(
+                        local_entry, local_time, source_asn, tuple(attempts), True
+                    )
+                return LookupResult(entry, elapsed, asn, tuple(attempts), False)
+            if outcome == OUTCOME_MISSING:
+                # The AS answers quickly with "GUID missing": one round trip.
+                elapsed += rtt
+                attempts.append(Attempt(asn, OUTCOME_MISSING, rtt))
+            elif outcome == OUTCOME_TIMEOUT:
+                # Adaptive timeout, mirroring the event simulation: never
+                # below the floor, never below twice the expected RTT.
+                timeout = max(self.timeout_ms, 2.0 * rtt)
+                elapsed += timeout
+                attempts.append(Attempt(asn, OUTCOME_TIMEOUT, timeout))
+            else:
+                raise ConfigurationError(f"probe returned unknown outcome {outcome!r}")
+
+        if local_time is not None and local_entry is not None:
+            return LookupResult(
+                local_entry, local_time, source_asn, tuple(attempts), True
+            )
+        raise LookupFailedError(guid, elapsed, len(attempts))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def storage_load(self) -> Dict[int, int]:
+        """Entries currently stored per AS (global + local copies)."""
+        return {asn: len(store) for asn, store in self.stores.items() if len(store)}
+
+    def total_entries(self) -> int:
+        """Total replica copies stored across all ASs."""
+        return sum(len(store) for store in self.stores.values())

@@ -1,0 +1,108 @@
+"""Shared experiment infrastructure: scales, environments, caching.
+
+Every evaluation artifact in the paper runs over the same substrate — the
+DIMES-derived AS topology and the DIX-IE prefix table.  Experiments here
+share one :class:`Environment` per (scale, seed), cached on disk so the
+expensive paper-scale topology is generated once.
+
+Three scales:
+
+* ``small``  — 400 ASs; seconds; used by tests and quick looks.
+* ``medium`` — 3,000 ASs; tens of seconds; the benchmark default.
+* ``paper``  — 26,424 ASs / 330k prefixes / 10^5 GUIDs / 10^6 lookups,
+  the paper's full configuration (§IV-B.1); minutes.
+
+Pick with the ``REPRO_SCALE`` environment variable or an explicit
+argument.  Latency *shapes* (CDF orderings, ratios between K values) are
+stable across scales; absolute milliseconds drift slightly because paths
+lengthen with graph size.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..bgp.allocation import AllocationConfig, generate_global_prefix_table
+from ..bgp.table import GlobalPrefixTable
+from ..errors import ConfigurationError
+from ..topology.datasets import cached_topology
+from ..topology.generator import TopologyConfig, generate_internet_topology
+from ..topology.graph import ASTopology
+from ..topology.routing import Router
+
+#: Where cached topologies/tables live (override with REPRO_CACHE_DIR).
+DEFAULT_CACHE_DIR = os.path.join(os.path.expanduser("~"), ".cache", "repro-dmap")
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One experiment scale: substrate and workload sizes."""
+
+    name: str
+    n_as: int
+    n_guids: int
+    n_lookups: int
+    prefixes_per_as: float
+    total_endnodes: int
+
+
+SCALES: Dict[str, Scale] = {
+    "small": Scale("small", 400, 2_000, 20_000, 6.0, 400_000),
+    "medium": Scale("medium", 3_000, 10_000, 100_000, 10.0, 3_000_000),
+    "paper": Scale("paper", 26_424, 100_000, 1_000_000, 12.5, 50_000_000),
+}
+
+
+def resolve_scale(name: Optional[str] = None) -> Scale:
+    """Scale by explicit name, else ``REPRO_SCALE`` env var, else small."""
+    chosen = name or os.environ.get("REPRO_SCALE", "small")
+    try:
+        return SCALES[chosen]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown scale {chosen!r}; expected one of {sorted(SCALES)}"
+        ) from exc
+
+
+class Environment:
+    """A substrate instance: topology + prefix table + router.
+
+    Construction is deterministic in ``(scale, seed)``; the topology is
+    cached on disk, the prefix table is cheap enough to regenerate.
+    """
+
+    def __init__(self, scale: Scale, seed: int = 0, cache_dir: Optional[str] = None):
+        self.scale = scale
+        self.seed = seed
+        cache_dir = cache_dir or os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        cache_path = os.path.join(
+            cache_dir, f"topology-{scale.name}-{scale.n_as}-seed{seed}.npz"
+        )
+        config = TopologyConfig(
+            n_as=scale.n_as, total_endnodes=scale.total_endnodes
+        )
+        self.topology: ASTopology = cached_topology(
+            cache_path, lambda: generate_internet_topology(config, seed=seed)
+        )
+        self.table: GlobalPrefixTable = generate_global_prefix_table(
+            self.topology.asns(),
+            AllocationConfig(prefixes_per_as=scale.prefixes_per_as),
+            seed=seed + 1,
+        )
+        self.router = Router(self.topology)
+
+
+_ENVIRONMENTS: Dict[tuple, Environment] = {}
+
+
+def get_environment(scale_name: Optional[str] = None, seed: int = 0) -> Environment:
+    """Process-wide memoized environment for ``(scale, seed)``."""
+    scale = resolve_scale(scale_name)
+    key = (scale.name, seed)
+    env = _ENVIRONMENTS.get(key)
+    if env is None:
+        env = Environment(scale, seed)
+        _ENVIRONMENTS[key] = env
+    return env

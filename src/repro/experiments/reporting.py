@@ -1,0 +1,82 @@
+"""Plain-text rendering of experiment results (tables and ASCII CDFs).
+
+The harness prints the same rows and series the paper reports, in a form
+that diffs cleanly in a terminal and in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.metrics import cdf_points
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_cdf_table(
+    series: Dict[str, Sequence[float]],
+    thresholds: Sequence[float],
+    unit: str = "ms",
+) -> str:
+    """Read each series' CDF at fixed thresholds — a textual Fig. 4/5/6."""
+    headers = [f"P(x < t)  t [{unit}]"] + [name for name in series]
+    rows: List[List[object]] = []
+    arrays = {name: np.sort(np.asarray(list(v), dtype=float)) for name, v in series.items()}
+    for t in thresholds:
+        row: List[object] = [f"{t:g}"]
+        for name in series:
+            arr = arrays[name]
+            row.append(f"{(arr < t).mean():.3f}")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def ascii_cdf(
+    values: Sequence[float],
+    width: int = 60,
+    height: int = 12,
+    label: str = "",
+    log_x: bool = True,
+) -> str:
+    """A small ASCII CDF plot (x = value, y = cumulative fraction)."""
+    xs, ys = cdf_points(values, n_points=512)
+    lo, hi = float(xs[0]), float(xs[-1])
+    if log_x:
+        lo = max(lo, 1e-3)
+        grid_x = np.logspace(np.log10(lo), np.log10(max(hi, lo * 1.001)), width)
+    else:
+        grid_x = np.linspace(lo, hi, width)
+    fractions = np.searchsorted(xs, grid_x, side="right") / len(xs)
+    canvas = [[" "] * width for _ in range(height)]
+    for col, frac in enumerate(fractions):
+        row = height - 1 - int(round(frac * (height - 1)))
+        canvas[row][col] = "*"
+    lines = ["".join(row) for row in canvas]
+    footer = f"x: {lo:.1f} .. {hi:.1f}" + (" (log)" if log_x else "")
+    title = f"CDF {label}".rstrip()
+    return "\n".join([title] + lines + [footer])
+
+
+def percentile_row(name: str, values: Sequence[float]) -> Tuple[str, str, str, str]:
+    """(name, mean, median, p95) formatted like Table I."""
+    arr = np.asarray(list(values), dtype=float)
+    return (
+        name,
+        f"{arr.mean():.1f}",
+        f"{np.median(arr):.1f}",
+        f"{np.percentile(arr, 95):.1f}",
+    )

@@ -1,0 +1,94 @@
+"""E2 — Table I: query response time statistics for K = 1 and K = 5.
+
+Paper values (§IV-B.2a, ms)::
+
+    K   mean   median   95th percentile
+    1   74.5   57.1     172.8
+    5   49.1   40.5     86.1
+
+Our reproduction reports the same rows over the synthetic substrate; the
+shape targets are (a) every statistic improves with K, and (b) the tail
+(95th) improves by roughly a factor of two while the median improves much
+less.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sim.metrics import LatencySummary
+from .common import Environment
+from .fig4_response_time import run_fig4
+from .reporting import format_table
+
+#: Published Table I rows: K -> (mean, median, p95).
+PAPER_TABLE1 = {
+    1: (74.5, 57.1, 172.8),
+    5: (49.1, 40.5, 86.1),
+}
+
+
+@dataclass
+class Table1Result:
+    """Measured statistics next to the published values."""
+
+    scale: str
+    measured: Dict[int, LatencySummary]
+
+    def render(self) -> str:
+        rows = []
+        for k, summary in sorted(self.measured.items()):
+            paper = PAPER_TABLE1.get(k)
+            paper_text = (
+                f"{paper[0]:.1f} / {paper[1]:.1f} / {paper[2]:.1f}"
+                if paper
+                else "—"
+            )
+            rows.append(
+                [
+                    f"K={k}",
+                    f"{summary.mean:.1f}",
+                    f"{summary.median:.1f}",
+                    f"{summary.p95:.1f}",
+                    paper_text,
+                ]
+            )
+        return "\n".join(
+            [
+                f"Table I — query response time statistics ({self.scale} scale)",
+                format_table(
+                    [
+                        "config",
+                        "mean [ms]",
+                        "median [ms]",
+                        "95th [ms]",
+                        "paper (mean/median/95th)",
+                    ],
+                    rows,
+                ),
+            ]
+        )
+
+
+def run_table1(
+    scale: Optional[str] = None,
+    seed: int = 0,
+    environment: Optional[Environment] = None,
+) -> Table1Result:
+    """Run the Table I experiment (K = 1 and 5 over the Fig. 4 workload)."""
+    fig4 = run_fig4(
+        scale, k_values=tuple(PAPER_TABLE1), seed=seed, environment=environment
+    )
+    return Table1Result(fig4.scale, fig4.summaries())
+
+
+def main(scale: Optional[str] = None) -> Table1Result:
+    """CLI entry point: run and print."""
+    result = run_table1(scale)
+    print(result.render())
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+"""Two-level bucketing for very sparse address spaces (§III-B, Fig. 3).
+
+IPv6-like spaces are almost entirely holes, so rehashing until an announced
+address is hit would rarely terminate.  The paper instead indexes each
+*announced address segment* by a ``(bucket ID, segment ID)`` pair: the GUID
+is hashed once to choose a bucket out of N, and once more to choose one of
+the (at most S) segments registered in that bucket.  N is made large so S
+stays small.
+
+This module implements that scheme over arbitrary announced segments.  The
+segment registry is the analogue of the BGP prefix table: every router
+derives the same bucket layout from the same announced-segment list, so the
+mapping host remains locally computable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Union
+
+from ..bgp.prefix import Announcement
+from ..core.guid import GUID
+from ..errors import ConfigurationError, EmptyPrefixTableError
+from .hashers import Sha256Hasher
+
+
+@dataclass(frozen=True)
+class BucketResolution:
+    """Outcome of a bucketed placement: which segment hosts the replica."""
+
+    bucket_id: int
+    segment_index: int
+    announcement: Announcement
+
+
+class BucketIndex:
+    """Deterministic two-level (bucket, segment) index over announcements.
+
+    Parameters
+    ----------
+    announcements:
+        The announced address segments of the sparse space.
+    n_buckets:
+        N in the paper — "We make N large so that S can be kept small."
+    k:
+        Replication factor; each of the K placement functions uses its own
+        pair of hash draws so replicas land in independent buckets.
+    seed_salt:
+        Salt shared by all routers (part of the pre-agreed configuration).
+
+    Notes
+    -----
+    Buckets are filled by hashing each segment itself, so every router that
+    knows the announcement list derives the identical layout with no
+    coordination.  Empty buckets are skipped by deterministic linear
+    probing, guaranteeing every GUID resolves as long as at least one
+    segment is announced.
+    """
+
+    def __init__(
+        self,
+        announcements: Sequence[Announcement],
+        n_buckets: int = 4096,
+        k: int = 1,
+        seed_salt: bytes = b"dmap-bucket",
+    ) -> None:
+        if n_buckets < 1:
+            raise ConfigurationError("n_buckets must be >= 1")
+        if not announcements:
+            raise EmptyPrefixTableError("bucket index needs at least one segment")
+        self.n_buckets = n_buckets
+        self.k = k
+        # Hash function pair per replica: one for the bucket draw, one for
+        # the segment draw.  Wide output (64-bit) then reduced mod N / S.
+        self._bucket_hashers = Sha256Hasher(k, address_bits=64, salt=seed_salt + b"/b")
+        self._segment_hashers = Sha256Hasher(k, address_bits=64, salt=seed_salt + b"/s")
+        self._segment_placer = Sha256Hasher(1, address_bits=64, salt=seed_salt + b"/p")
+
+        self._buckets: List[List[Announcement]] = [[] for _ in range(n_buckets)]
+        for ann in sorted(announcements):
+            bucket = self._segment_placer.hash_one(ann.prefix.base, 0) % n_buckets
+            self._buckets[bucket].append(ann)
+        self._non_empty = [i for i, b in enumerate(self._buckets) if b]
+
+    @property
+    def max_segments_per_bucket(self) -> int:
+        """S — the realized worst-case bucket occupancy."""
+        return max(len(b) for b in self._buckets)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of buckets holding at least one segment."""
+        return len(self._non_empty) / self.n_buckets
+
+    def bucket_contents(self, bucket_id: int) -> List[Announcement]:
+        """Segments registered in ``bucket_id`` (deterministic order)."""
+        return list(self._buckets[bucket_id])
+
+    def resolve_one(self, guid: Union[GUID, int], index: int) -> BucketResolution:
+        """Place replica ``index`` of ``guid``.
+
+        The first hash picks the bucket; empty buckets are skipped by
+        linear probing (deterministic, so all routers agree).  The second
+        hash picks the segment inside the bucket.
+        """
+        if not 0 <= index < self.k:
+            raise ConfigurationError(f"replica index {index} out of range [0, {self.k})")
+        start = self._bucket_hashers.hash_one(guid, index) % self.n_buckets
+        bucket_id = start
+        while not self._buckets[bucket_id]:
+            bucket_id = (bucket_id + 1) % self.n_buckets
+        segments = self._buckets[bucket_id]
+        seg_idx = self._segment_hashers.hash_one(guid, index) % len(segments)
+        return BucketResolution(bucket_id, seg_idx, segments[seg_idx])
+
+    def resolve_all(self, guid: Union[GUID, int]) -> List[BucketResolution]:
+        """All K replica placements for ``guid``."""
+        return [self.resolve_one(guid, i) for i in range(self.k)]
+
+    def hosting_asns(self, guid: Union[GUID, int]) -> List[int]:
+        """Hosting AS numbers for all K replicas, in replica order."""
+        return [res.announcement.asn for res in self.resolve_all(guid)]
+
+    def load_by_asn(self, guids: Sequence[Union[GUID, int]]) -> Dict[int, int]:
+        """Replica count hosted per AS for a batch of GUIDs (load studies)."""
+        loads: Dict[int, int] = {}
+        for guid in guids:
+            for asn in self.hosting_asns(guid):
+                loads[asn] = loads.get(asn, 0) + 1
+        return loads

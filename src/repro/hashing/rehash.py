@@ -1,0 +1,179 @@
+"""Algorithm 1: hashing a GUID into *announced* address space.
+
+About 45-48% of the IPv4 space is unannounced (§III-B), so a hashed value
+frequently lands in an *IP hole*.  The border gateway then re-hashes up to
+``M - 1`` times; if every attempt still lands in a hole it falls back to
+the *deputy AS* — the AS announcing the prefix with minimum IP (XOR)
+distance to the final hashed value.  The paper reports the probability of
+exhausting M = 10 rehashes is ≈ 0.034% at a 55% announcement ratio
+(0.45^10), so deputy fallback is rare; the residual load skew it causes is
+what keeps the median NLR slightly above 1 (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from ..bgp.interval_index import HOLE, IntervalIndex
+from ..bgp.table import GlobalPrefixTable
+from ..core.guid import GUID
+from ..errors import ConfigurationError
+from .hashers import FastHasher, HashFamily
+
+#: Default maximum number of hash attempts (M in Algorithm 1).
+DEFAULT_MAX_REHASHES = 10
+
+
+@dataclass(frozen=True)
+class HashResolution:
+    """Outcome of resolving one GUID through one hash function.
+
+    Attributes
+    ----------
+    address:
+        The final hashed address value.
+    asn:
+        The AS that will host this replica.
+    attempts:
+        Number of hash applications used (1 = first hash announced).
+    via_deputy:
+        Whether the deputy-AS fallback (nearest prefix) was needed.
+    """
+
+    address: int
+    asn: int
+    attempts: int
+    via_deputy: bool
+
+
+class GuidPlacer:
+    """Applies Algorithm 1 for each of the K hash functions.
+
+    This is the component every border gateway runs locally: it needs only
+    the hash family (agreed upon beforehand) and the local BGP view, so any
+    network entity can deterministically derive the K hosting ASs of any
+    GUID — the paper's key "direct mapping" property.
+    """
+
+    def __init__(
+        self,
+        hash_family: HashFamily,
+        table: GlobalPrefixTable,
+        max_rehashes: int = DEFAULT_MAX_REHASHES,
+    ) -> None:
+        if max_rehashes < 1:
+            raise ConfigurationError(f"max_rehashes must be >= 1, got {max_rehashes}")
+        self.hash_family = hash_family
+        self.table = table
+        self.max_rehashes = max_rehashes
+
+    @property
+    def k(self) -> int:
+        """Replication factor (number of hash functions)."""
+        return self.hash_family.k
+
+    def resolve_one(self, guid: Union[GUID, int], index: int) -> HashResolution:
+        """Algorithm 1 for hash function ``index``."""
+        value = self.hash_family.hash_one(guid, index)
+        for attempt in range(1, self.max_rehashes + 1):
+            announcement = self.table.resolve(value)
+            if announcement is not None:
+                return HashResolution(value, announcement.asn, attempt, False)
+            if attempt < self.max_rehashes:
+                value = self.hash_family.rehash(value, index)
+        announcement, _distance = self.table.nearest(value)
+        return HashResolution(value, announcement.asn, self.max_rehashes, True)
+
+    def resolve_all(self, guid: Union[GUID, int]) -> List[HashResolution]:
+        """Hosting resolution for every replica of ``guid``.
+
+        The K resolutions are independent: replica ``i`` re-hashes with
+        function ``i`` only, so a hole in one chain does not perturb the
+        others.  Duplicate ASs across replicas are possible (two hash
+        functions may land in the same AS) and are preserved — the caller
+        decides whether to de-duplicate storage.
+        """
+        return [self.resolve_one(guid, i) for i in range(self.k)]
+
+    def hosting_asns(self, guid: Union[GUID, int]) -> List[int]:
+        """Just the K hosting AS numbers, in replica order."""
+        return [res.asn for res in self.resolve_all(guid)]
+
+
+def place_guids_bulk(
+    folded_guids: np.ndarray,
+    hasher: FastHasher,
+    index: IntervalIndex,
+    table: GlobalPrefixTable,
+    max_rehashes: int = DEFAULT_MAX_REHASHES,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized Algorithm 1 over millions of GUIDs (Fig. 6 scale).
+
+    Parameters
+    ----------
+    folded_guids:
+        ``uint64`` array of folded GUID values (see
+        :meth:`FastHasher.fold_guids`).
+    hasher:
+        The K-function vectorized hash family.
+    index:
+        Frozen interval snapshot of ``table`` for batch LPM.
+    table:
+        The live table, consulted only for the rare deputy-AS fallback.
+    max_rehashes:
+        M in Algorithm 1.
+
+    Returns
+    -------
+    (asns, attempts, via_deputy):
+        ``asns`` has shape ``(len(folded_guids), K)`` — hosting AS per
+        replica; ``attempts`` the matching number of hash applications;
+        ``via_deputy`` marks replicas that exhausted all M rehashes and
+        fell back to the nearest-prefix deputy AS.
+    """
+    n = len(folded_guids)
+    k = hasher.k
+    asns = np.full((n, k), HOLE, dtype=np.int64)
+    attempts = np.zeros((n, k), dtype=np.int64)
+    via_deputy = np.zeros((n, k), dtype=bool)
+
+    for i in range(k):
+        addresses = hasher.hash_batch(folded_guids, i)
+        unresolved = np.arange(n)
+        for attempt in range(1, max_rehashes + 1):
+            owners = index.lookup_batch(addresses[unresolved])
+            hit = owners != HOLE
+            hit_rows = unresolved[hit]
+            asns[hit_rows, i] = owners[hit]
+            attempts[hit_rows, i] = attempt
+            unresolved = unresolved[~hit]
+            if len(unresolved) == 0:
+                break
+            if attempt < max_rehashes:
+                addresses[unresolved] = hasher.rehash_batch(
+                    addresses[unresolved], i
+                )
+        # Deputy fallback for the stragglers (≈0.03% of GUIDs at M=10):
+        # scalar nearest-prefix search on the trie is fine at this volume.
+        for row in unresolved.tolist():
+            announcement, _dist = table.nearest(int(addresses[row]))
+            asns[row, i] = announcement.asn
+            attempts[row, i] = max_rehashes
+            via_deputy[row, i] = True
+
+    return asns, attempts, via_deputy
+
+
+def hole_probability(announcement_ratio: float, max_rehashes: int) -> float:
+    """Probability all M hashes land in holes: ``(1 - ratio)**M``.
+
+    Matches the paper's example: ratio 0.55, M = 10 → ≈ 0.034%.
+    """
+    if not 0.0 <= announcement_ratio <= 1.0:
+        raise ConfigurationError("announcement_ratio must lie in [0, 1]")
+    if max_rehashes < 1:
+        raise ConfigurationError("max_rehashes must be >= 1")
+    return (1.0 - announcement_ratio) ** max_rehashes

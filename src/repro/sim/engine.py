@@ -1,0 +1,127 @@
+"""A minimal deterministic discrete-event engine.
+
+The paper evaluates DMap with a custom discrete-event simulator over
+~26,000 AS nodes (§IV-B.1).  This engine is the scheduling core: a binary
+heap of timestamped events with a monotone sequence number as tiebreaker,
+so runs are exactly reproducible regardless of callback identity.
+
+Events are plain callables.  Cancellation is lazy (a cancelled handle
+stays in the heap but is skipped), which keeps ``cancel`` O(1) — important
+for lookup timeouts, which are almost always cancelled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..errors import SimulationError
+
+Action = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    action: Action = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`Simulator.schedule`; supports
+    cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time."""
+        return self._event.time
+
+
+class Simulator:
+    """Deterministic event loop with virtual time in milliseconds."""
+
+    def __init__(self) -> None:
+        self._queue: List[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.events_executed = 0
+        self._running = False
+
+    def schedule(self, delay_ms: float, action: Action) -> EventHandle:
+        """Schedule ``action`` at ``now + delay_ms``; returns a handle."""
+        if delay_ms < 0:
+            raise SimulationError(f"cannot schedule into the past (delay {delay_ms})")
+        event = _ScheduledEvent(self.now + delay_ms, next(self._seq), action)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time_ms: float, action: Action) -> EventHandle:
+        """Schedule ``action`` at absolute virtual time ``time_ms``."""
+        if time_ms < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time_ms} (now is {self.now})"
+            )
+        event = _ScheduledEvent(time_ms, next(self._seq), action)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue.
+
+        Parameters
+        ----------
+        until:
+            Stop (without executing) at the first event after this time;
+            virtual time is left at ``until``.
+        max_events:
+            Safety valve against runaway feedback loops.
+
+        Returns the number of events executed by this call.
+        """
+        if self._running:
+            raise SimulationError("run() re-entered from within an event")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                if event.time < self.now:
+                    raise SimulationError("event queue went backwards in time")
+                self.now = event.time
+                event.action()
+                executed += 1
+                self.events_executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+            else:
+                if until is not None:
+                    self.now = max(self.now, until)
+        finally:
+            self._running = False
+        return executed
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)

@@ -1,0 +1,165 @@
+"""Measurement collection and summary statistics.
+
+The paper reports round-trip query response times as CDFs (Figs. 4, 5),
+summary rows (Table I: mean / median / 95th percentile) and the storage
+balance as a CDF of per-AS Normalized Load Ratios (Fig. 6).  This module
+produces all three representations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One completed (or failed) lookup in the simulation."""
+
+    guid_value: int
+    source_asn: int
+    issued_at: float
+    completed_at: float
+    served_by: Optional[int]
+    attempts: int
+    used_local: bool
+    success: bool
+
+    @property
+    def rtt_ms(self) -> float:
+        """Round-trip response time."""
+        return self.completed_at - self.issued_at
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """The paper's Table I row: mean / median / 95th percentile (ms)."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    max: float
+
+    def as_row(self) -> str:
+        """Formatted like Table I."""
+        return (
+            f"n={self.count}  mean={self.mean:.1f}ms  median={self.median:.1f}ms  "
+            f"95th={self.p95:.1f}ms"
+        )
+
+
+def summarize(values: Sequence[float]) -> LatencySummary:
+    """Summary statistics over latency samples."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise SimulationError("cannot summarize zero samples")
+    return LatencySummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        p95=float(np.percentile(arr, 95)),
+        p99=float(np.percentile(arr, 99)),
+        max=float(arr.max()),
+    )
+
+
+def cdf_points(
+    values: Sequence[float], n_points: Optional[int] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF ``(x, F(x))`` of the samples.
+
+    With ``n_points`` the curve is downsampled to evenly spaced quantiles
+    (for compact text/plot output); otherwise every sample is a step.
+    """
+    arr = np.sort(np.asarray(list(values), dtype=float))
+    if arr.size == 0:
+        raise SimulationError("cannot build a CDF from zero samples")
+    fractions = np.arange(1, arr.size + 1, dtype=float) / arr.size
+    if n_points is not None and n_points < arr.size:
+        idx = np.unique(
+            np.round(np.linspace(0, arr.size - 1, n_points)).astype(int)
+        )
+        return arr[idx], fractions[idx]
+    return arr, fractions
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """Fraction of samples strictly below ``threshold`` (CDF read-off)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise SimulationError("cannot evaluate a CDF with zero samples")
+    return float((arr < threshold).mean())
+
+
+class MetricsCollector:
+    """Accumulates query records during a simulation run."""
+
+    def __init__(self) -> None:
+        self.records: List[QueryRecord] = []
+        self.failed: List[QueryRecord] = []
+
+    def add(self, record: QueryRecord) -> None:
+        """File a completed query."""
+        if record.success:
+            self.records.append(record)
+        else:
+            self.failed.append(record)
+
+    def rtts(self) -> np.ndarray:
+        """Response times of all successful queries (ms)."""
+        return np.asarray([r.rtt_ms for r in self.records], dtype=float)
+
+    def summary(self) -> LatencySummary:
+        """Table-I style summary of successful queries."""
+        return summarize(self.rtts())
+
+    def cdf(self, n_points: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """CDF of successful query response times."""
+        return cdf_points(self.rtts(), n_points)
+
+    def local_hit_fraction(self) -> float:
+        """Share of queries answered by the local replica (§III-C)."""
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if r.used_local) / len(self.records)
+
+    def mean_attempts(self) -> float:
+        """Average replicas contacted per successful query (churn cost)."""
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.attempts for r in self.records]))
+
+
+def normalized_load_ratios(
+    guid_counts: Dict[int, int],
+    announced_spans: Dict[int, int],
+    total_guids: Optional[int] = None,
+    total_span: Optional[int] = None,
+) -> np.ndarray:
+    """Per-AS Normalized Load Ratio (Fig. 6).
+
+    NLR(AS) = (% of GUID replicas stored at the AS) /
+              (% of announced address space owned by the AS).
+
+    ASs announcing space but storing nothing contribute NLR 0, exactly as
+    in the paper's CDF.  ASs with no announced space are skipped (their
+    NLR is undefined).
+    """
+    if not announced_spans:
+        raise SimulationError("no announced spans — is the prefix table empty?")
+    total_guids = total_guids if total_guids is not None else sum(guid_counts.values())
+    total_span = total_span if total_span is not None else sum(announced_spans.values())
+    if total_guids <= 0 or total_span <= 0:
+        raise SimulationError("need positive totals to normalize")
+    ratios = []
+    for asn, span in announced_spans.items():
+        guid_share = guid_counts.get(asn, 0) / total_guids
+        span_share = span / total_span
+        ratios.append(guid_share / span_share)
+    return np.asarray(ratios, dtype=float)

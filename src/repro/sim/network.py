@@ -1,0 +1,101 @@
+"""Message-level network on top of the AS topology.
+
+Delivers typed messages between AS gateways with the end-to-end one-way
+latency the routing substrate computes (intra-AS at both ends plus the
+inter-AS shortest path, §IV-B.1).  Messages to the local AS still pay the
+intra-AS latency — a host and its gateway's mapping server are not
+co-located.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
+
+from ..errors import SimulationError
+from ..topology.routing import Router
+from .engine import Simulator
+
+
+class MessageKind(enum.Enum):
+    """DMap protocol messages (§III-A, §III-D)."""
+
+    INSERT = "insert"  # GUID Insert / Update request
+    INSERT_ACK = "insert_ack"
+    LOOKUP = "lookup"  # GUID Lookup request
+    LOOKUP_HIT = "lookup_hit"  # response carrying the mapping
+    LOOKUP_MISS = "lookup_miss"  # "GUID missing" reply (§IV-B.2b)
+    MIGRATE = "migrate"  # GUID migration between ASs (§III-D.1)
+
+
+@dataclass(frozen=True)
+class Message:
+    """A protocol message in flight.
+
+    ``request_id`` correlates responses with their originating request so
+    gateways can race parallel branches (local vs global lookups).
+    """
+
+    kind: MessageKind
+    src_asn: int
+    dst_asn: int
+    request_id: int
+    payload: Any = None
+    sent_at: float = 0.0
+
+
+class Network:
+    """Latency-faithful message delivery between AS nodes.
+
+    Parameters
+    ----------
+    simulator:
+        The event engine driving virtual time.
+    router:
+        Latency oracle; one-way delays come from
+        :meth:`~repro.topology.routing.Router.one_way_ms`.
+    """
+
+    def __init__(self, simulator: Simulator, router: Router) -> None:
+        self.simulator = simulator
+        self.router = router
+        self._handlers: Dict[int, Callable[[Message], None]] = {}
+        self._request_ids = itertools.count(1)
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def register(self, asn: int, handler: Callable[[Message], None]) -> None:
+        """Attach the message handler of AS ``asn`` (its gateway node)."""
+        self._handlers[asn] = handler
+
+    def next_request_id(self) -> int:
+        """Fresh correlation id for a new protocol exchange."""
+        return next(self._request_ids)
+
+    def send(
+        self,
+        kind: MessageKind,
+        src_asn: int,
+        dst_asn: int,
+        request_id: int,
+        payload: Any = None,
+        size_bits: int = 0,
+    ) -> Message:
+        """Send a message; it is delivered after the one-way latency.
+
+        Returns the in-flight message (useful for logging).  Messages to
+        unregistered ASs raise — every AS in the topology must have a node.
+        """
+        if dst_asn not in self._handlers:
+            raise SimulationError(f"no node registered for AS {dst_asn}")
+        message = Message(
+            kind, src_asn, dst_asn, request_id, payload, self.simulator.now
+        )
+        delay = self.router.one_way_ms(src_asn, dst_asn)
+        self.messages_sent += 1
+        self.bytes_sent += size_bits // 8
+        handler = self._handlers[dst_asn]
+        self.simulator.schedule(delay, lambda: handler(message))
+        return message

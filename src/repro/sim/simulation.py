@@ -1,0 +1,496 @@
+"""The end-to-end DMap discrete-event simulation (§IV-B.1).
+
+Mirrors the paper's setup: one node per AS, GUID Insert / Update / Lookup
+events, message-level latency accounting, replica selection at the querying
+gateway, timeout-and-retry on failures, and a parallel local-replica
+branch.  The protocol logic is identical to the instant-mode
+:class:`~repro.core.resolver.DMapResolver`; the test suite cross-checks
+both paths produce the same response times on failure-free workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..bgp.table import GlobalPrefixTable
+from ..core.guid import GUID, NetworkAddress, guid_like
+from ..core.mapping import MappingEntry
+from ..core.replication import ReplicaSelector
+from ..core.resolver import DEFAULT_TIMEOUT_MS
+from ..errors import ConfigurationError, SimulationError
+from ..hashing.hashers import HashFamily, Sha256Hasher
+from ..hashing.rehash import DEFAULT_MAX_REHASHES, GuidPlacer
+from ..topology.graph import ASTopology
+from ..topology.routing import Router
+from .engine import EventHandle, Simulator
+from .failures import FailureModel
+from .metrics import MetricsCollector, QueryRecord
+from .network import Message, MessageKind, Network
+from .node import ASNode, ENTRY_SIZE_BITS, REQUEST_SIZE_BITS
+
+
+@dataclass
+class InsertRecord:
+    """Completion record of one insert/update (latency = max replica ack)."""
+
+    guid_value: int
+    source_asn: int
+    issued_at: float
+    completed_at: float
+
+    @property
+    def rtt_ms(self) -> float:
+        return self.completed_at - self.issued_at
+
+
+class _PendingInsert:
+    """Tracks the K parallel replica writes of one insert (§III-A)."""
+
+    __slots__ = ("guid", "source_asn", "issued_at", "outstanding", "simulation")
+
+    def __init__(self, simulation, guid, source_asn, issued_at, outstanding):
+        self.simulation = simulation
+        self.guid = guid
+        self.source_asn = source_asn
+        self.issued_at = issued_at
+        self.outstanding = outstanding
+
+    def on_ack(self) -> None:
+        self.outstanding -= 1
+        if self.outstanding == 0:
+            self.simulation.insert_records.append(
+                InsertRecord(
+                    self.guid.value,
+                    self.source_asn,
+                    self.issued_at,
+                    self.simulation.simulator.now,
+                )
+            )
+
+
+class _PendingLookup:
+    """State machine of one lookup: global best-first walk with retries,
+    racing a parallel local-replica branch (§III-C, §III-D.3)."""
+
+    __slots__ = (
+        "simulation",
+        "guid",
+        "source_asn",
+        "issued_at",
+        "candidates",
+        "next_candidate",
+        "attempts",
+        "timeout_handle",
+        "done",
+        "local_pending",
+    )
+
+    def __init__(self, simulation, guid, source_asn, issued_at, candidates):
+        self.simulation = simulation
+        self.guid = guid
+        self.source_asn = source_asn
+        self.issued_at = issued_at
+        self.candidates = candidates
+        self.next_candidate = 0
+        self.attempts = 0
+        self.timeout_handle: Optional[EventHandle] = None
+        self.done = False
+        self.local_pending = False
+
+    # -- global branch -------------------------------------------------
+    def try_next(self, request_id: int) -> None:
+        if self.done:
+            return
+        if self.next_candidate >= len(self.candidates):
+            self._maybe_fail()
+            return
+        target = self.candidates[self.next_candidate]
+        self.next_candidate += 1
+        self.attempts += 1
+        sim = self.simulation
+        sim.network.send(
+            MessageKind.LOOKUP,
+            self.source_asn,
+            target,
+            request_id,
+            payload={"guid": self.guid, "is_local": False},
+            size_bits=REQUEST_SIZE_BITS,
+        )
+        # Adaptive timeout: the gateway already estimates the response
+        # time to rank replicas, so it won't declare a replica dead before
+        # twice its expected round trip (matters for the pathological
+        # high-latency stub ASs driving the paper's CDF tail).
+        timeout = max(sim.timeout_ms, 2.0 * sim.router.rtt_ms(self.source_asn, target))
+        self.timeout_handle = sim.simulator.schedule(
+            timeout, lambda: self._on_timeout(request_id)
+        )
+
+    def _on_timeout(self, request_id: int) -> None:
+        if self.done:
+            return
+        self.timeout_handle = None
+        self.try_next(request_id)
+
+    def on_response(self, message: Message) -> None:
+        # The local branch is only launched when the source AS is not a
+        # global candidate, so a response from the source AS while it is
+        # pending is unambiguously the local one.
+        if self.done:
+            return
+        is_local = self.local_pending and message.src_asn == self.source_asn
+        if message.kind is MessageKind.LOOKUP_HIT:
+            self._complete(message.src_asn, used_local=is_local)
+            return
+        # LOOKUP_MISS
+        if is_local:
+            self.local_pending = False
+            if self.next_candidate >= len(self.candidates) and self.timeout_handle is None:
+                self._maybe_fail()
+            return
+        if self.timeout_handle is not None:
+            self.timeout_handle.cancel()
+            self.timeout_handle = None
+        self.try_next(message.request_id)
+
+    def _complete(self, served_by: int, used_local: bool) -> None:
+        self.done = True
+        if self.timeout_handle is not None:
+            self.timeout_handle.cancel()
+        sim = self.simulation
+        sim.metrics.add(
+            QueryRecord(
+                guid_value=self.guid.value,
+                source_asn=self.source_asn,
+                issued_at=self.issued_at,
+                completed_at=sim.simulator.now,
+                served_by=served_by,
+                attempts=max(self.attempts, 1),
+                used_local=used_local,
+                success=True,
+            )
+        )
+
+    def _maybe_fail(self) -> None:
+        if self.done or self.local_pending:
+            return
+        self.done = True
+        sim = self.simulation
+        sim.metrics.add(
+            QueryRecord(
+                guid_value=self.guid.value,
+                source_asn=self.source_asn,
+                issued_at=self.issued_at,
+                completed_at=sim.simulator.now,
+                served_by=None,
+                attempts=self.attempts,
+                used_local=False,
+                success=False,
+            )
+        )
+
+
+class DMapSimulation:
+    """Event-driven DMap over a full AS topology.
+
+    Parameters mirror :class:`~repro.core.resolver.DMapResolver`; see
+    §IV-B.1 for the paper's configuration (K ∈ {1, 3, 5}, 26k ASs).
+
+    Typical use::
+
+        sim = DMapSimulation(topology, table, k=5, seed=1)
+        sim.schedule_insert(guid, [locator], source_asn, at=0.0)
+        sim.schedule_lookup(guid, querier_asn, at=1000.0)
+        sim.run()
+        print(sim.metrics.summary().as_row())
+    """
+
+    def __init__(
+        self,
+        topology: ASTopology,
+        table: GlobalPrefixTable,
+        k: int = 5,
+        hash_family: Optional[HashFamily] = None,
+        selection_policy: str = "latency",
+        local_replica: bool = True,
+        max_rehashes: int = DEFAULT_MAX_REHASHES,
+        timeout_ms: float = DEFAULT_TIMEOUT_MS,
+        failure_model: Optional[FailureModel] = None,
+        processing_ms: float = 0.0,
+        router: Optional[Router] = None,
+        seed: int = 0,
+        placer=None,
+    ) -> None:
+        if timeout_ms <= 0:
+            raise ConfigurationError("timeout_ms must be positive")
+        self.topology = topology
+        self.table = table
+        self.router = router or Router(topology)
+        self.hash_family = hash_family or Sha256Hasher(k, address_bits=table.bits)
+        self.placer = placer or GuidPlacer(self.hash_family, table, max_rehashes)
+        self.selector = ReplicaSelector(
+            self.router, selection_policy, np.random.default_rng(seed)
+        )
+        self.local_replica = local_replica
+        self.timeout_ms = timeout_ms
+        self.failure_model = failure_model or FailureModel()
+
+        self.simulator = Simulator()
+        self.network = Network(self.simulator, self.router)
+        self.nodes: Dict[int, ASNode] = {}
+        for asn in topology.asns():
+            node = ASNode(
+                asn, self.simulator, self.network, self.failure_model, processing_ms
+            )
+            node.response_sink = self._dispatch_response
+            self.nodes[asn] = node
+
+        for node in self.nodes.values():
+            node.miss_hook = self._on_genuine_miss
+
+        self.metrics = MetricsCollector()
+        self.insert_records: List[InsertRecord] = []
+        self._pending: Dict[int, object] = {}
+        self._versions: Dict[GUID, int] = {}
+        # Which ASs are known to hold a copy of each GUID (fed by the
+        # write path; consulted by the lazy-migration protocol).
+        self._holders: Dict[GUID, set] = {}
+        self.migrations = 0
+
+    # ------------------------------------------------------------------
+    # Event scheduling API
+    # ------------------------------------------------------------------
+    def schedule_insert(
+        self,
+        guid: Union[GUID, int, str],
+        locators: Sequence[NetworkAddress],
+        source_asn: int,
+        at: float = 0.0,
+    ) -> None:
+        """Queue a GUID Insert event at virtual time ``at`` (ms)."""
+        guid = guid_like(guid)
+        self.simulator.schedule_at(
+            at, lambda: self._start_insert(guid, tuple(locators), source_asn)
+        )
+
+    def schedule_update(
+        self,
+        guid: Union[GUID, int, str],
+        locators: Sequence[NetworkAddress],
+        source_asn: int,
+        at: float,
+    ) -> None:
+        """Queue a GUID Update (identical processing to insert, §III-A)."""
+        self.schedule_insert(guid, locators, source_asn, at)
+
+    def schedule_lookup(
+        self, guid: Union[GUID, int, str], source_asn: int, at: float
+    ) -> None:
+        """Queue a GUID Lookup event at virtual time ``at`` (ms)."""
+        guid = guid_like(guid)
+        self.simulator.schedule_at(
+            at, lambda: self._start_lookup(guid, source_asn)
+        )
+
+    def schedule_withdrawal(self, prefix, at: float) -> None:
+        """Queue a BGP prefix withdrawal at virtual time ``at`` (ms).
+
+        The §III-D.1 protocol executes in virtual time: before the
+        withdrawal takes effect, the withdrawing AS computes the deputy
+        each affected mapping will now hash to and ships it a MIGRATE
+        message; its own copy is dropped unless another hash chain (or
+        the attachment-local copy) keeps the GUID at this AS.  Queries in
+        flight during the transfer window can genuinely miss — exactly
+        the transient the paper defers to future work (§VII).
+        """
+        self.simulator.schedule_at(at, lambda: self._apply_withdrawal(prefix))
+
+    def schedule_announcement(self, announcement, at: float) -> None:
+        """Queue a BGP prefix announcement at virtual time ``at`` (ms).
+
+        Migration is *lazy* (§III-D.1): the first query that reaches the
+        announcing AS and misses triggers a one-time GUID migration pull
+        from a known holder (see :meth:`_on_genuine_miss`).
+        """
+        self.simulator.schedule_at(
+            at, lambda: self.table.announce(announcement)
+        )
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Execute all queued events (optionally up to virtual ``until``)."""
+        self.simulator.run(until=until)
+
+    # ------------------------------------------------------------------
+    # Protocol execution
+    # ------------------------------------------------------------------
+    def _next_version(self, guid: GUID) -> int:
+        version = self._versions.get(guid, -1) + 1
+        self._versions[guid] = version
+        return version
+
+    def _start_insert(
+        self, guid: GUID, locators: Sequence[NetworkAddress], source_asn: int
+    ) -> None:
+        now = self.simulator.now
+        entry = MappingEntry(
+            guid, tuple(locators), self._next_version(guid), timestamp=now
+        )
+        resolutions = self.placer.resolve_all(guid)
+        request_id = self.network.next_request_id()
+        pending = _PendingInsert(self, guid, source_asn, now, len(resolutions))
+        self._pending[request_id] = pending
+        holders = self._holders.setdefault(guid, set())
+        holders.update(res.asn for res in resolutions)
+        if self.local_replica:
+            holders.add(source_asn)
+        for res in resolutions:
+            self.network.send(
+                MessageKind.INSERT,
+                source_asn,
+                res.asn,
+                request_id,
+                payload=entry,
+                size_bits=ENTRY_SIZE_BITS,
+            )
+        if self.local_replica:
+            # The local copy is written via an intra-AS message that never
+            # dominates the K-way parallel max, so it is not awaited.
+            self.network.send(
+                MessageKind.MIGRATE,
+                source_asn,
+                source_asn,
+                request_id,
+                payload=entry,
+                size_bits=ENTRY_SIZE_BITS,
+            )
+
+    def _start_lookup(self, guid: GUID, source_asn: int) -> None:
+        now = self.simulator.now
+        candidates = self.selector.order_candidates(
+            source_asn, self.placer.hosting_asns(guid)
+        )
+        request_id = self.network.next_request_id()
+        pending = _PendingLookup(self, guid, source_asn, now, candidates)
+        self._pending[request_id] = pending
+        if self.local_replica and source_asn not in candidates:
+            pending.local_pending = True
+            self.network.send(
+                MessageKind.LOOKUP,
+                source_asn,
+                source_asn,
+                request_id,
+                payload={"guid": guid, "is_local": True},
+                size_bits=REQUEST_SIZE_BITS,
+            )
+        pending.try_next(request_id)
+
+    # ------------------------------------------------------------------
+    # BGP churn in virtual time (§III-D.1 / §VII transients)
+    # ------------------------------------------------------------------
+    def _apply_withdrawal(self, prefix) -> None:
+        withdrawing_asn = self.table.withdraw(prefix).asn
+        node = self.nodes[withdrawing_asn]
+        for entry in list(node.store):
+            guid = entry.guid
+            # Post-withdrawal placement; did this AS host the GUID via an
+            # address inside the withdrawn block?  The stateless placer
+            # answers both: we re-derive the chains under the *new* table
+            # and compare with where the copy actually sits.
+            new_resolutions = self.placer.resolve_all(guid)
+            still_here = any(res.asn == withdrawing_asn for res in new_resolutions)
+            moved = False
+            for res in new_resolutions:
+                holders = self._holders.setdefault(guid, set())
+                if res.asn != withdrawing_asn and res.asn not in holders:
+                    # This chain left the withdrawing AS (or was never
+                    # here); ship the copy to its new host if we owned it.
+                    self.network.send(
+                        MessageKind.MIGRATE,
+                        withdrawing_asn,
+                        res.asn,
+                        self.network.next_request_id(),
+                        payload=entry,
+                        size_bits=ENTRY_SIZE_BITS,
+                    )
+                    holders.add(res.asn)
+                    self.migrations += 1
+                    moved = True
+            if moved and not still_here and not self._is_local_copy(
+                guid, withdrawing_asn
+            ):
+                node.store.delete(guid)
+                self._holders.get(guid, set()).discard(withdrawing_asn)
+
+    def _is_local_copy(self, guid: GUID, asn: int) -> bool:
+        """Whether ``asn`` holds the GUID as its attachment-local copy."""
+        entry = self.nodes[asn].store.get(guid)
+        if entry is None:
+            return False
+        locator = self.table.owner_asn(entry.primary_locator)
+        return locator == asn
+
+    def _on_genuine_miss(self, asn: int, guid: GUID) -> None:
+        """Lazy GUID migration (§III-D.1, new-announcement side).
+
+        Fired when a query reaches ``asn`` and the mapping is absent.  If
+        the current table says this AS *should* host a replica, pull the
+        entry from the closest known holder — a one-time cost charged as
+        a real MIGRATE message in virtual time.
+        """
+        if asn not in set(self.placer.hosting_asns(guid)):
+            return
+        holders = [
+            h
+            for h in self._holders.get(guid, ())
+            if h != asn and self.nodes[h].store.get(guid) is not None
+        ]
+        if not holders:
+            return
+        donor, _latency = self.router.closest_of(
+            asn, np.asarray(holders, dtype=np.int64)
+        )
+        entry = self.nodes[donor].store.get(guid)
+        if entry is None:
+            return
+        self.network.send(
+            MessageKind.MIGRATE,
+            donor,
+            asn,
+            self.network.next_request_id(),
+            payload=entry,
+            size_bits=ENTRY_SIZE_BITS,
+        )
+        self._holders.setdefault(guid, set()).add(asn)
+        self.migrations += 1
+
+    def _dispatch_response(self, message: Message) -> None:
+        pending = self._pending.get(message.request_id)
+        if pending is None:
+            return  # response for an already-completed operation
+        if isinstance(pending, _PendingInsert):
+            if message.kind is MessageKind.INSERT_ACK:
+                pending.on_ack()
+                if pending.outstanding == 0:
+                    del self._pending[message.request_id]
+            return
+        if isinstance(pending, _PendingLookup):
+            pending.on_response(message)
+            if pending.done:
+                self._pending.pop(message.request_id, None)
+            return
+        raise SimulationError(f"unknown pending operation for {message.request_id}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def storage_load(self) -> Dict[int, int]:
+        """Entries stored per AS at the current virtual time."""
+        return {
+            asn: len(node.store) for asn, node in self.nodes.items() if len(node.store)
+        }
+
+    def update_traffic_bits(self) -> int:
+        """Total bits sent so far (traffic-overhead accounting, §IV-A)."""
+        return self.network.bytes_sent * 8

@@ -1,0 +1,43 @@
+"""AS-level topology substrate: graph, generator, routing, Jellyfish."""
+
+from .datasets import (
+    cached_topology,
+    line_fixture,
+    load_topology,
+    save_topology,
+    star_fixture,
+)
+from .generator import (
+    PAPER_N_AS,
+    PAPER_N_LINKS,
+    TopologyConfig,
+    generate_internet_topology,
+    small_scale_config,
+)
+from .graph import ASInfo, ASTier, ASTopology, Link
+from .jellyfish import JellyfishDecomposition, decompose
+from .latency import GeographyModel, LatencyModel, PAPER_MEDIAN_INTRA_MS
+from .routing import Router
+
+__all__ = [
+    "cached_topology",
+    "line_fixture",
+    "load_topology",
+    "save_topology",
+    "star_fixture",
+    "PAPER_N_AS",
+    "PAPER_N_LINKS",
+    "TopologyConfig",
+    "generate_internet_topology",
+    "small_scale_config",
+    "ASInfo",
+    "ASTier",
+    "ASTopology",
+    "Link",
+    "JellyfishDecomposition",
+    "decompose",
+    "GeographyModel",
+    "LatencyModel",
+    "PAPER_MEDIAN_INTRA_MS",
+    "Router",
+]

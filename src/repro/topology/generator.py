@@ -1,0 +1,284 @@
+"""Synthetic DIMES-like Internet topology generation.
+
+The paper's network model is the measured DIMES AS graph: 26,424 ASs,
+90,267 links (§IV-B.1).  This generator reproduces its load-bearing
+properties with a tiered preferential-attachment construction:
+
+* a small **tier-1 clique** (the default-free core — the Jellyfish model's
+  Shell-0, §V-A);
+* **transit ASs** multi-homed into the core and peering among themselves;
+* a large majority of **stub ASs** attached to one-to-three providers with
+  degree-and-proximity preferential attachment (yielding the heavy-tailed
+  degree distribution of the real AS graph);
+* extra proximity-biased **peering links** added until the target link
+  count is met (these flatten the hierarchy, as in the real Internet);
+* **end-node populations** drawn Zipf-heavy over stubs, which weight the
+  origins of GUID inserts and queries exactly as the DIMES end-node
+  dataset does in the paper.
+
+Everything is deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .graph import ASInfo, ASTier, ASTopology
+from .latency import GeographyModel, LatencyModel
+
+#: DIMES graph scale used in the paper (§IV-B.1).
+PAPER_N_AS = 26_424
+PAPER_N_LINKS = 90_267
+
+
+@dataclass
+class TopologyConfig:
+    """Knobs of :func:`generate_internet_topology`.
+
+    Attributes
+    ----------
+    n_as:
+        Total number of ASs.
+    target_links:
+        Approximate undirected link count (defaults to the paper's
+        links-per-AS ratio).
+    tier1_fraction, transit_fraction:
+        Share of ASs in the core clique and the transit layer.
+    stub_extra_provider_prob:
+        Probability a stub is multi-homed to a second/third provider.
+    population_exponent:
+        Zipf exponent for end-node counts over stub ASs.
+    total_endnodes:
+        Total end-node population to distribute.
+    latency, geography:
+        Sub-models for latencies and the planar embedding.
+    """
+
+    n_as: int = PAPER_N_AS
+    target_links: Optional[int] = None
+    tier1_fraction: float = 0.0005
+    transit_fraction: float = 0.15
+    stub_extra_provider_prob: float = 0.45
+    population_exponent: float = 1.1
+    total_endnodes: int = 50_000_000
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    geography: GeographyModel = field(default_factory=GeographyModel)
+
+    def validate(self) -> None:
+        if self.n_as < 5:
+            raise ConfigurationError("need at least 5 ASs")
+        if not 0 < self.transit_fraction < 1:
+            raise ConfigurationError("transit_fraction must lie in (0, 1)")
+        if not 0 <= self.stub_extra_provider_prob <= 1:
+            raise ConfigurationError("stub_extra_provider_prob must lie in [0, 1]")
+        if self.population_exponent <= 0:
+            raise ConfigurationError("population_exponent must be positive")
+        if self.total_endnodes < self.n_as:
+            raise ConfigurationError("total_endnodes must cover every AS")
+        self.latency.validate()
+        self.geography.validate()
+
+    def resolved_target_links(self) -> int:
+        if self.target_links is not None:
+            return self.target_links
+        return int(round(self.n_as * PAPER_N_LINKS / PAPER_N_AS))
+
+    def n_tier1(self) -> int:
+        return max(4, int(round(self.n_as * self.tier1_fraction)))
+
+    def n_transit(self) -> int:
+        return max(2, int(round(self.n_as * self.transit_fraction)))
+
+
+def small_scale_config(n_as: int = 200, seed_endnodes: int = 100_000) -> TopologyConfig:
+    """A small config suitable for unit tests and examples."""
+    return TopologyConfig(n_as=n_as, total_endnodes=max(seed_endnodes, n_as))
+
+
+def generate_internet_topology(
+    config: Optional[TopologyConfig] = None, seed: int = 0
+) -> ASTopology:
+    """Generate a connected, DIMES-like AS topology.
+
+    ASNs are assigned 1..n with tier-1 ASs first.  The result always
+    passes :meth:`ASTopology.validate`.
+    """
+    config = config or TopologyConfig()
+    config.validate()
+    rng = np.random.default_rng(seed)
+    geo = config.geography
+    lat = config.latency
+
+    n = config.n_as
+    n_t1 = min(config.n_tier1(), n - 2)
+    n_t2 = min(config.n_transit(), n - n_t1 - 1)
+    n_t3 = n - n_t1 - n_t2
+
+    topo = ASTopology()
+    positions: List[Tuple[float, float]] = []
+
+    # --- Tier 1: well-separated backbone sites, full-mesh peering. -----
+    t1_asns = list(range(1, n_t1 + 1))
+    for asn in t1_asns:
+        pos = geo.random_site(rng)
+        positions.append(pos)
+        topo.add_as(ASInfo(asn, ASTier.TIER1, 0.0, 0, pos))
+    for i, a in enumerate(t1_asns):
+        for b in t1_asns[i + 1 :]:
+            topo.add_link(a, b, lat.link_latency_ms(positions[a - 1], positions[b - 1]))
+
+    # --- Tier 2: transit providers near core sites. --------------------
+    t2_asns = list(range(n_t1 + 1, n_t1 + n_t2 + 1))
+    t1_pos = np.asarray(positions[:n_t1], dtype=float)
+    degrees: Dict[int, int] = {asn: topo.degree(asn) for asn in t1_asns}
+    for asn in t2_asns:
+        anchor_idx = int(rng.integers(0, n_t1))
+        pos = geo.near(tuple(t1_pos[anchor_idx]), geo.transit_spread_km, rng)
+        positions.append(pos)
+        topo.add_as(ASInfo(asn, ASTier.TRANSIT, 0.0, 0, pos))
+        # 1-3 upstream tier-1 providers, nearest-biased.
+        n_up = 1 + int(rng.random() < 0.7) + int(rng.random() < 0.25)
+        d2 = ((t1_pos - np.asarray(pos)) ** 2).sum(axis=1)
+        weights = 1.0 / (d2 + 1e4)
+        weights /= weights.sum()
+        ups = rng.choice(n_t1, size=min(n_up, n_t1), replace=False, p=weights)
+        for up in ups.tolist():
+            provider = t1_asns[up]
+            topo.add_link(asn, provider, lat.link_latency_ms(pos, positions[provider - 1]))
+        degrees[asn] = topo.degree(asn)
+
+    # Transit-transit peering: each transit peers with ~1 other, degree- and
+    # proximity-biased.
+    t2_pos = np.asarray(positions[n_t1:], dtype=float)
+    for i, asn in enumerate(t2_asns):
+        if rng.random() < 0.6 and len(t2_asns) > 1:
+            d2 = ((t2_pos - t2_pos[i]) ** 2).sum(axis=1)
+            d2[i] = np.inf
+            deg = np.asarray([degrees[a] for a in t2_asns], dtype=float)
+            weights = (deg + 1.0) / (d2 + 1e5)
+            weights[i] = 0.0
+            total = weights.sum()
+            if total <= 0:
+                continue
+            j = int(rng.choice(len(t2_asns), p=weights / total))
+            peer = t2_asns[j]
+            if peer not in topo.neighbors(asn):
+                topo.add_link(
+                    asn, peer, lat.link_latency_ms(positions[asn - 1], positions[peer - 1])
+                )
+                degrees[asn] = topo.degree(asn)
+                degrees[peer] = topo.degree(peer)
+
+    # --- Tier 3: stubs via degree+proximity preferential attachment. ---
+    t3_asns = list(range(n_t1 + n_t2 + 1, n + 1))
+    provider_pool = t2_asns if t2_asns else t1_asns
+    pool_pos = np.asarray([positions[a - 1] for a in provider_pool], dtype=float)
+    pool_deg = np.asarray([degrees[a] for a in provider_pool], dtype=float)
+    for asn in t3_asns:
+        # Anchor near a random provider region (population clusters).
+        anchor = int(rng.integers(0, len(provider_pool)))
+        pos = geo.near(tuple(pool_pos[anchor]), geo.stub_spread_km, rng)
+        positions.append(pos)
+        topo.add_as(ASInfo(asn, ASTier.STUB, 0.0, 0, pos))
+        n_prov = 1
+        if rng.random() < config.stub_extra_provider_prob:
+            n_prov += 1
+            if rng.random() < 0.3:
+                n_prov += 1
+        d2 = ((pool_pos - np.asarray(pos)) ** 2).sum(axis=1)
+        weights = (pool_deg + 1.0) / (d2 + 1e5)
+        weights /= weights.sum()
+        chosen = rng.choice(
+            len(provider_pool), size=min(n_prov, len(provider_pool)), replace=False, p=weights
+        )
+        for c in chosen.tolist():
+            provider = provider_pool[c]
+            topo.add_link(asn, provider, lat.link_latency_ms(pos, positions[provider - 1]))
+            pool_deg[c] += 1.0
+
+    # --- Extra peering links up to the target count. --------------------
+    target = config.resolved_target_links()
+    all_pos = np.asarray(positions, dtype=float)
+    attempts = 0
+    max_attempts = 20 * max(target - topo.n_links(), 0) + 100
+    while topo.n_links() < target and attempts < max_attempts:
+        attempts += 1
+        a = int(rng.integers(1, n + 1))
+        b = int(rng.integers(1, n + 1))
+        if a == b:
+            continue
+        dist = math.hypot(*(all_pos[a - 1] - all_pos[b - 1]))
+        # Peering is overwhelmingly local (IXP-style).
+        if rng.random() > math.exp(-dist / 2000.0):
+            continue
+        if b in topo.neighbors(a):
+            continue
+        topo.add_link(a, b, lat.link_latency_ms(tuple(all_pos[a - 1]), tuple(all_pos[b - 1])))
+
+    # --- Attributes: intra-AS latency and end-node populations. --------
+    intra = lat.intra_latencies_ms(n, rng, allow_outliers=False)
+    # Outliers only on stubs: a huge backbone with 2.3 s internal latency
+    # would be unrealistic, and the paper's exemplar (AS 23951) is a small
+    # stub AS.
+    stub_mask = np.zeros(n, dtype=bool)
+    stub_mask[n_t1 + n_t2 :] = True
+    if lat.outlier_fraction > 0 and n_t3 > 0:
+        out = rng.random(n) < lat.outlier_fraction
+        out &= stub_mask
+        n_out = int(out.sum())
+        if n_out:
+            intra[out] = np.exp(
+                rng.uniform(
+                    math.log(lat.outlier_low_ms), math.log(lat.outlier_high_ms), n_out
+                )
+            )
+    # Core networks are faster internally than the global median.
+    intra[: n_t1 + n_t2] *= 0.6
+
+    populations = _zipf_populations(
+        n, stub_mask, config.population_exponent, config.total_endnodes, rng
+    )
+
+    for asn in range(1, n + 1):
+        info = topo.info(asn)
+        topo.add_as(
+            ASInfo(
+                asn,
+                info.tier,
+                float(intra[asn - 1]),
+                int(populations[asn - 1]),
+                info.position,
+            )
+        )
+
+    topo.validate()
+    return topo
+
+
+def _zipf_populations(
+    n: int,
+    stub_mask: np.ndarray,
+    exponent: float,
+    total: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Distribute ``total`` end nodes: Zipf-heavy over stubs, light
+    elsewhere.
+
+    Every AS gets at least one end node so any AS can originate queries,
+    matching the paper's source model (weights proportional to end-node
+    counts, §IV-B.1).
+    """
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = 1.0 / ranks**exponent
+    rng.shuffle(weights)
+    # Providers host few end nodes compared to access networks.
+    weights[~stub_mask] *= 0.05 if stub_mask.any() else 1.0
+    weights /= weights.sum()
+    populations = np.maximum(1, np.floor(weights * total)).astype(np.int64)
+    return populations

@@ -1,0 +1,160 @@
+"""Jellyfish decomposition of a topology (§V-A).
+
+The paper's analytical model describes the Internet as a Jellyfish
+[Tauro et al., GLOBECOM'01]: a dense core clique (Shell-0) surrounded by
+concentric shells, with degree-1 leaves hanging off each shell:
+
+* ``root``   — the highest-degree node;
+* ``core``   — a maximal clique containing the root (Shell-0);
+* ``Shell-j`` — nodes of degree > 1 at BFS distance ``j`` from the core;
+* ``Hang-j`` — degree-1 nodes at distance ``j + 1`` from the core;
+* ``Layer(j) = Shell-j ∪ Hang-(j-1)`` for ``j ≥ 1``; ``Layer(0) = Shell-0``.
+
+The layer ratios ``r_j = |Layer(j)| / n`` are the only topology input the
+§V response-time bound consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+import numpy as np
+
+from ..errors import TopologyError
+from .graph import ASTopology
+
+
+@dataclass
+class JellyfishDecomposition:
+    """The computed decomposition.
+
+    Attributes
+    ----------
+    root:
+        Highest-degree AS (ties broken by lowest ASN for determinism).
+    core:
+        Members of Shell-0 (a maximal clique containing ``root``).
+    shells:
+        ``shells[j]`` = Shell-j membership.
+    hangs:
+        ``hangs[j]`` = Hang-j membership (degree-1 nodes at distance j+1).
+    layers:
+        ``layers[j]`` = Layer(j) membership.
+    """
+
+    root: int
+    core: List[int]
+    shells: List[List[int]]
+    hangs: List[List[int]]
+    layers: List[List[int]]
+
+    @property
+    def n_layers(self) -> int:
+        """N in the paper's notation — the number of non-empty layers."""
+        return len(self.layers)
+
+    def layer_ratios(self) -> np.ndarray:
+        """``r_j = |Layer(j)| / n`` — input to the §V analytical model."""
+        total = sum(len(layer) for layer in self.layers)
+        return np.asarray([len(layer) / total for layer in self.layers], dtype=float)
+
+    def layer_of(self) -> Dict[int, int]:
+        """Mapping AS → layer index."""
+        out: Dict[int, int] = {}
+        for j, layer in enumerate(self.layers):
+            for asn in layer:
+                out[asn] = j
+        return out
+
+
+def _greedy_maximal_clique(
+    adjacency: Dict[int, Set[int]], root: int
+) -> List[int]:
+    """Greedy maximal clique containing ``root``.
+
+    Maximum clique is NP-hard; the paper only requires *a* maximal clique
+    containing the highest-degree node, which greedy extension by
+    descending degree provides deterministically.
+    """
+    clique = [root]
+    members = {root}
+    candidates = sorted(
+        adjacency[root], key=lambda v: (-len(adjacency[v]), v)
+    )
+    for candidate in candidates:
+        if members <= adjacency[candidate]:
+            clique.append(candidate)
+            members.add(candidate)
+    return sorted(clique)
+
+
+def decompose(topology: ASTopology) -> JellyfishDecomposition:
+    """Compute the Jellyfish decomposition of ``topology``.
+
+    Every AS lands in exactly one layer (the graph must be connected,
+    which :meth:`ASTopology.validate` guarantees for generated instances).
+    """
+    asns = topology.asns()
+    if not asns:
+        raise TopologyError("cannot decompose an empty topology")
+
+    adjacency: Dict[int, Set[int]] = {
+        asn: set(topology.neighbors(asn)) for asn in asns
+    }
+    root = min(asns, key=lambda a: (-len(adjacency[a]), a))
+    core = _greedy_maximal_clique(adjacency, root)
+    core_set = set(core)
+
+    # Multi-source BFS from the core: distance-to-core for every node.
+    distance: Dict[int, int] = {asn: 0 for asn in core}
+    frontier = list(core)
+    level = 0
+    while frontier:
+        level += 1
+        nxt: List[int] = []
+        for asn in frontier:
+            for nbr in adjacency[asn]:
+                if nbr not in distance:
+                    distance[nbr] = level
+                    nxt.append(nbr)
+        frontier = nxt
+
+    unreachable = [asn for asn in asns if asn not in distance]
+    if unreachable:
+        raise TopologyError(
+            f"{len(unreachable)} ASs unreachable from the core; "
+            "Jellyfish decomposition requires a connected graph"
+        )
+
+    max_distance = max(distance.values())
+    shells: List[List[int]] = [[] for _ in range(max_distance + 1)]
+    hangs: List[List[int]] = [[] for _ in range(max_distance + 1)]
+    for asn in asns:
+        d = distance[asn]
+        if len(adjacency[asn]) == 1 and d >= 1:
+            # Hang-j holds degree-1 nodes at distance j + 1.
+            hangs[d - 1].append(asn)
+        else:
+            shells[d].append(asn)
+
+    n_layers = max_distance + 1
+    # A final hang group at distance max+1 would extend the layer count.
+    while len(hangs) < n_layers:
+        hangs.append([])
+    layers: List[List[int]] = [sorted(shells[0])]
+    for j in range(1, n_layers + 1):
+        shell_j = shells[j] if j < len(shells) else []
+        hang_prev = hangs[j - 1] if j - 1 < len(hangs) else []
+        layer = sorted(set(shell_j) | set(hang_prev))
+        layers.append(layer)
+    while layers and not layers[-1]:
+        layers.pop()
+
+    return JellyfishDecomposition(
+        root=root,
+        core=core,
+        shells=[sorted(s) for s in shells],
+        hangs=[sorted(h) for h in hangs[:n_layers]],
+        layers=layers,
+    )

@@ -1,0 +1,133 @@
+"""Latency models for inter-AS links and AS interiors.
+
+The paper extracts inter-AS and intra-AS latency medians from DIMES
+(§IV-B.1).  Offline, we synthesize latencies from a geographic embedding:
+
+* **link latency** = propagation over the great-circle-like planar distance
+  between the two ASs' positions, plus a per-hop floor (serialization,
+  queueing, router processing);
+* **intra-AS latency** is lognormal with median 3.5 ms — the value the
+  paper substitutes for the ~6% of ASs whose DIMES data is missing — plus
+  a small fraction of extreme outliers.  The outliers matter: the paper's
+  response-time CDF has a long tail traced to "a few queries originating
+  from those ASs with unusually long intra-AS response times" (e.g. AS
+  23951 with >2.3 s one-way latency, §IV-B.2a).  Without them the tail of
+  Fig. 4 cannot be reproduced.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+#: Median intra-AS latency in the paper's DIMES dataset (ms, one-way).
+PAPER_MEDIAN_INTRA_MS = 3.5
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Parameters of the synthetic latency generator.
+
+    Attributes
+    ----------
+    per_km_ms:
+        Propagation delay per planar kilometre.  Light in fibre is
+        ~5 µs/km; the default adds slack for non-great-circle paths.
+    link_floor_ms:
+        Per-link fixed cost (router processing, serialization).
+    intra_median_ms, intra_sigma:
+        Lognormal intra-AS latency: ``exp(N(ln(median), sigma))``.
+    outlier_fraction:
+        Fraction of (stub) ASs with pathological intra-AS latency.
+    outlier_low_ms, outlier_high_ms:
+        Log-uniform range of those outliers (one-way).
+    """
+
+    per_km_ms: float = 0.0032
+    link_floor_ms: float = 0.4
+    intra_median_ms: float = PAPER_MEDIAN_INTRA_MS
+    intra_sigma: float = 1.15
+    outlier_fraction: float = 0.004
+    outlier_low_ms: float = 150.0
+    outlier_high_ms: float = 2500.0
+
+    def validate(self) -> None:
+        if self.per_km_ms <= 0 or self.link_floor_ms < 0:
+            raise ConfigurationError("propagation parameters must be positive")
+        if self.intra_median_ms <= 0 or self.intra_sigma < 0:
+            raise ConfigurationError("intra-AS latency parameters invalid")
+        if not 0.0 <= self.outlier_fraction < 1.0:
+            raise ConfigurationError("outlier_fraction must lie in [0, 1)")
+        if not 0 < self.outlier_low_ms <= self.outlier_high_ms:
+            raise ConfigurationError("outlier latency range invalid")
+
+    def link_latency_ms(
+        self, pos_a: Tuple[float, float], pos_b: Tuple[float, float]
+    ) -> float:
+        """One-way latency of a link between ASs at the two positions."""
+        dx = pos_a[0] - pos_b[0]
+        dy = pos_a[1] - pos_b[1]
+        return self.link_floor_ms + self.per_km_ms * math.hypot(dx, dy)
+
+    def intra_latencies_ms(
+        self, count: int, rng: np.random.Generator, allow_outliers: bool = True
+    ) -> np.ndarray:
+        """Draw ``count`` intra-AS latencies (one-way, ms)."""
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        base = np.exp(
+            rng.normal(math.log(self.intra_median_ms), self.intra_sigma, size=count)
+        )
+        if allow_outliers and self.outlier_fraction > 0 and count > 0:
+            mask = rng.random(count) < self.outlier_fraction
+            n_out = int(mask.sum())
+            if n_out:
+                log_low = math.log(self.outlier_low_ms)
+                log_high = math.log(self.outlier_high_ms)
+                base[mask] = np.exp(rng.uniform(log_low, log_high, size=n_out))
+        return base
+
+
+@dataclass(frozen=True)
+class GeographyModel:
+    """Planar world the ASs are embedded in.
+
+    A ``width × height`` km rectangle roughly matching the land surface
+    dimensions relevant to fibre routes.  Tier-1 backbones sit at
+    well-separated sites; lower tiers cluster near their providers, giving
+    the geographic locality that makes nearby ASs cheap to reach.
+    """
+
+    width_km: float = 18_000.0
+    height_km: float = 9_000.0
+    transit_spread_km: float = 1_500.0
+    stub_spread_km: float = 500.0
+
+    def validate(self) -> None:
+        if self.width_km <= 0 or self.height_km <= 0:
+            raise ConfigurationError("world dimensions must be positive")
+        if self.transit_spread_km < 0 or self.stub_spread_km < 0:
+            raise ConfigurationError("spreads must be non-negative")
+
+    def random_site(self, rng: np.random.Generator) -> Tuple[float, float]:
+        """Uniform position in the world rectangle."""
+        return (
+            float(rng.uniform(0.0, self.width_km)),
+            float(rng.uniform(0.0, self.height_km)),
+        )
+
+    def near(
+        self,
+        anchor: Tuple[float, float],
+        spread_km: float,
+        rng: np.random.Generator,
+    ) -> Tuple[float, float]:
+        """Gaussian-perturbed position near ``anchor``, clamped to the world."""
+        x = min(max(anchor[0] + rng.normal(0.0, spread_km), 0.0), self.width_km)
+        y = min(max(anchor[1] + rng.normal(0.0, spread_km), 0.0), self.height_km)
+        return (float(x), float(y))

@@ -1,0 +1,189 @@
+"""Shortest-path routing over the AS graph.
+
+DMap reaches a hosting AS in a single *overlay* hop, but that hop rides on
+the underlying inter-domain routes; the simulation therefore needs
+source→destination network latencies and hop counts for ~26k ASs.  This
+module wraps :func:`scipy.sparse.csgraph.dijkstra` with per-source caching:
+a workload touches the same source ASs repeatedly (origins are weighted by
+end-node population), so one Dijkstra run per distinct source amortizes to
+near-zero.
+
+End-to-end one-way latency follows the paper's DIMES-derived model
+(§IV-B.1): half the intra-AS latency contribution at each end plus the
+inter-AS path::
+
+    one_way(s, t) = intra(s) + path(s, t) + intra(t)   for s != t
+    one_way(s, s) = intra(s)
+
+and the round-trip query time is twice that (the reply retraces the path,
+§IV-B).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from ..errors import RoutingError
+from .graph import ASTopology
+
+
+class Router:
+    """Latency/hop oracle over a frozen :class:`ASTopology`.
+
+    Parameters
+    ----------
+    topology:
+        The AS graph.  The router snapshots its structure at construction;
+        rebuild the router after mutating the topology.
+    cache_size:
+        Number of per-source distance rows kept (LRU).  A row is
+        ``8 bytes × n`` — 26k ASs ≈ 0.2 MB — so thousands of rows fit
+        comfortably.
+    """
+
+    def __init__(self, topology: ASTopology, cache_size: int = 4096) -> None:
+        if cache_size < 1:
+            raise RoutingError("cache_size must be >= 1")
+        self.topology = topology
+        self.cache_size = cache_size
+        self.n = len(topology)
+        rows, cols, weights = topology.edge_arrays()
+        self._matrix = csr_matrix(
+            (weights, (rows, cols)), shape=(self.n, self.n)
+        )
+        self._hop_matrix = csr_matrix(
+            (np.ones_like(weights), (rows, cols)), shape=(self.n, self.n)
+        )
+        self._intra = topology.intra_latency_array()
+        self._latency_rows: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._hop_rows: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self.dijkstra_runs = 0
+
+    # ------------------------------------------------------------------
+    # Cached distance rows
+    # ------------------------------------------------------------------
+    def _row(
+        self,
+        cache: "OrderedDict[int, np.ndarray]",
+        matrix: csr_matrix,
+        src_index: int,
+    ) -> np.ndarray:
+        row = cache.get(src_index)
+        if row is not None:
+            cache.move_to_end(src_index)
+            return row
+        # float32 halves the cache footprint; at 26k ASs a row is ~100 KB,
+        # so thousands of distinct sources stay resident.
+        row = dijkstra(matrix, directed=False, indices=src_index).astype(np.float32)
+        self.dijkstra_runs += 1
+        cache[src_index] = row
+        if len(cache) > self.cache_size:
+            cache.popitem(last=False)
+        return row
+
+    def latency_row(self, src_asn: int) -> np.ndarray:
+        """Inter-AS path latency (ms) from ``src_asn`` to every AS, in
+        dense-index order.  ``inf`` marks unreachable ASs."""
+        idx = self.topology.index_of(src_asn)
+        return self._row(self._latency_rows, self._matrix, idx)
+
+    def hop_row(self, src_asn: int) -> np.ndarray:
+        """AS-path hop counts from ``src_asn`` in dense-index order."""
+        idx = self.topology.index_of(src_asn)
+        return self._row(self._hop_rows, self._hop_matrix, idx)
+
+    # ------------------------------------------------------------------
+    # Scalar queries
+    # ------------------------------------------------------------------
+    def path_latency_ms(self, src_asn: int, dst_asn: int) -> float:
+        """Inter-AS shortest-path latency (0 when src == dst)."""
+        if src_asn == dst_asn:
+            return 0.0
+        value = float(self.latency_row(src_asn)[self.topology.index_of(dst_asn)])
+        if not np.isfinite(value):
+            raise RoutingError(f"AS {dst_asn} unreachable from AS {src_asn}")
+        return value
+
+    def hops(self, src_asn: int, dst_asn: int) -> int:
+        """AS-path length in hops (0 when src == dst)."""
+        if src_asn == dst_asn:
+            return 0
+        value = float(self.hop_row(src_asn)[self.topology.index_of(dst_asn)])
+        if not np.isfinite(value):
+            raise RoutingError(f"AS {dst_asn} unreachable from AS {src_asn}")
+        return int(value)
+
+    def one_way_ms(self, src_asn: int, dst_asn: int) -> float:
+        """End-to-end one-way latency host-in-``src`` → server-in-``dst``."""
+        src_idx = self.topology.index_of(src_asn)
+        if src_asn == dst_asn:
+            return float(self._intra[src_idx])
+        dst_idx = self.topology.index_of(dst_asn)
+        path = float(self.latency_row(src_asn)[dst_idx])
+        if not np.isfinite(path):
+            raise RoutingError(f"AS {dst_asn} unreachable from AS {src_asn}")
+        return float(self._intra[src_idx]) + path + float(self._intra[dst_idx])
+
+    def rtt_ms(self, src_asn: int, dst_asn: int) -> float:
+        """Round-trip time of a query+response between the two ASs."""
+        return 2.0 * self.one_way_ms(src_asn, dst_asn)
+
+    # ------------------------------------------------------------------
+    # Vectorized queries (replica selection over K candidates)
+    # ------------------------------------------------------------------
+    def one_way_to_many(self, src_asn: int, dst_asns: np.ndarray) -> np.ndarray:
+        """One-way latencies from ``src_asn`` to an array of ASNs."""
+        src_idx = self.topology.index_of(src_asn)
+        row = self.latency_row(src_asn)
+        dst_idx = np.asarray(
+            [self.topology.index_of(int(a)) for a in dst_asns], dtype=np.int64
+        )
+        path = row[dst_idx]
+        result = self._intra[src_idx] + path + self._intra[dst_idx]
+        same = dst_idx == src_idx
+        result[same] = self._intra[src_idx]
+        return result
+
+    def closest_of(
+        self, src_asn: int, dst_asns: np.ndarray, by: str = "latency"
+    ) -> Tuple[int, float]:
+        """Replica selection: the destination minimizing latency or hops.
+
+        ``by="latency"`` models a querying node with response-time
+        estimates; ``by="hops"`` models the least-hop-count fallback the
+        paper notes is available from BGP today and "leads to similar
+        results albeit with marginally increased latencies" (§IV-B.2a).
+
+        Returns ``(chosen_asn, one_way_latency_ms_to_it)``.
+        """
+        dst = np.asarray(dst_asns, dtype=np.int64)
+        if dst.size == 0:
+            raise RoutingError("closest_of needs at least one destination")
+        if by == "latency":
+            lat = self.one_way_to_many(src_asn, dst)
+            pick = int(np.argmin(lat))
+            return int(dst[pick]), float(lat[pick])
+        if by == "hops":
+            row = self.hop_row(src_asn)
+            idx = np.asarray(
+                [self.topology.index_of(int(a)) for a in dst], dtype=np.int64
+            )
+            hops = row[idx].copy()
+            hops[idx == self.topology.index_of(src_asn)] = 0
+            pick = int(np.argmin(hops))
+            chosen = int(dst[pick])
+            return chosen, self.one_way_ms(src_asn, chosen)
+        raise RoutingError(f"unknown selection criterion {by!r}")
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Diagnostics: cached rows and total Dijkstra executions."""
+        return {
+            "latency_rows": len(self._latency_rows),
+            "hop_rows": len(self._hop_rows),
+            "dijkstra_runs": self.dijkstra_runs,
+        }

@@ -1,0 +1,80 @@
+"""Mandelbrot-Zipf host popularity (§IV-B.1, Eq. 1).
+
+The number of queries a GUID receives depends on its popularity.  The
+paper models it with a Mandelbrot-Zipf distribution::
+
+    p(k) = H / (k + q)**alpha,    H = 1 / sum_k 1 / (k + q)**alpha
+
+with skewness ``alpha = 1.02`` and plateau factor ``q = 100`` (following
+the peer-to-peer traffic study it cites).  ``q`` flattens the head: unlike
+pure Zipf, the most popular few objects do not dwarf everything else.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+#: Paper parameter choices (§IV-B.1).
+PAPER_ALPHA = 1.02
+PAPER_Q = 100.0
+
+
+class MandelbrotZipf:
+    """Sampler over ranks ``1..n`` with Mandelbrot-Zipf probabilities.
+
+    Parameters
+    ----------
+    n:
+        Number of objects (GUIDs).
+    alpha:
+        Skewness; larger concentrates probability on low ranks.
+    q:
+        Plateau factor; larger flattens the head of the distribution.
+    """
+
+    def __init__(self, n: int, alpha: float = PAPER_ALPHA, q: float = PAPER_Q) -> None:
+        if n < 1:
+            raise WorkloadError("need at least one object")
+        if alpha <= 0:
+            raise WorkloadError("alpha must be positive")
+        if q < 0:
+            raise WorkloadError("q must be non-negative")
+        self.n = n
+        self.alpha = alpha
+        self.q = q
+        ranks = np.arange(1, n + 1, dtype=float)
+        weights = 1.0 / (ranks + q) ** alpha
+        self._h = 1.0 / weights.sum()
+        self._probabilities = weights * self._h
+        self._cdf = np.cumsum(self._probabilities)
+        # Guard against floating-point drift in the final bin.
+        self._cdf[-1] = 1.0
+
+    @property
+    def normalization(self) -> float:
+        """H in Eq. 1."""
+        return self._h
+
+    def pmf(self, rank: int) -> float:
+        """Probability of the object at ``rank`` (1-based)."""
+        if not 1 <= rank <= self.n:
+            raise WorkloadError(f"rank {rank} out of range [1, {self.n}]")
+        return float(self._probabilities[rank - 1])
+
+    def pmf_array(self) -> np.ndarray:
+        """All probabilities, rank order (sums to 1)."""
+        return self._probabilities.copy()
+
+    def sample_ranks(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` ranks (1-based) by inverse-CDF sampling."""
+        if size < 0:
+            raise WorkloadError("size must be non-negative")
+        u = rng.random(size)
+        return np.searchsorted(self._cdf, u, side="right").astype(np.int64) + 1
+
+    def expected_queries(self, total_queries: int) -> np.ndarray:
+        """Expected query count per rank for a workload of ``total_queries``."""
+        return self._probabilities * float(total_queries)

@@ -1,0 +1,64 @@
+"""Shared fixtures: a small deterministic substrate.
+
+Session-scoped objects (topology, router, base table) are treated as
+read-only by tests; anything mutating the prefix table or mapping stores
+builds its own copy via the factory fixtures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bgp.allocation import AllocationConfig, generate_global_prefix_table
+from repro.core.resolver import DMapResolver
+from repro.topology.generator import generate_internet_topology, small_scale_config
+from repro.topology.routing import Router
+
+#: Substrate size for most tests — big enough for statistical shape
+#: checks, small enough to build in well under a second.
+TEST_N_AS = 150
+
+
+@pytest.fixture(scope="session")
+def topology():
+    """A small generated Internet topology (read-only)."""
+    return generate_internet_topology(small_scale_config(n_as=TEST_N_AS), seed=7)
+
+
+@pytest.fixture(scope="session")
+def router(topology):
+    """Latency oracle over the session topology (read-only)."""
+    return Router(topology)
+
+
+@pytest.fixture(scope="session")
+def base_table(topology):
+    """A prefix table over the session topology (read-only)."""
+    return generate_global_prefix_table(
+        topology.asns(), AllocationConfig(prefixes_per_as=5), seed=11
+    )
+
+
+@pytest.fixture
+def table(base_table):
+    """A private mutable copy of the prefix table."""
+    return base_table.copy()
+
+
+@pytest.fixture
+def resolver(base_table, router):
+    """A fresh resolver over the shared substrate (stores are private)."""
+    return DMapResolver(base_table, router, k=5)
+
+
+@pytest.fixture
+def rng():
+    """Deterministic per-test RNG."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def asns(topology):
+    """All AS numbers of the session topology."""
+    return topology.asns()

@@ -1,0 +1,110 @@
+"""Tests for the §VII placement variants (AS-number and weighted hashing)."""
+
+import numpy as np
+import pytest
+
+from repro.core.guid import GUID
+from repro.core.resolver import DMapResolver
+from repro.errors import ConfigurationError
+from repro.hashing.asnum_placer import ASNumberPlacer, WeightedASPlacer
+
+
+class TestASNumberPlacer:
+    def test_deterministic(self):
+        placer = ASNumberPlacer(range(1, 101), k=5)
+        g = GUID.from_name("x")
+        assert placer.hosting_asns(g) == placer.hosting_asns(g)
+
+    def test_resolves_to_participants(self):
+        asns = list(range(10, 50))
+        placer = ASNumberPlacer(asns, k=3)
+        for i in range(50):
+            for asn in placer.hosting_asns(GUID.from_name(f"g{i}")):
+                assert asn in asns
+
+    def test_never_via_deputy_single_attempt(self):
+        placer = ASNumberPlacer(range(1, 20), k=2)
+        for res in placer.resolve_all(GUID(7)):
+            assert res.attempts == 1
+            assert not res.via_deputy
+
+    def test_uniform_load(self):
+        asns = list(range(1, 41))
+        placer = ASNumberPlacer(asns, k=1)
+        counts = {a: 0 for a in asns}
+        for i in range(8000):
+            counts[placer.hosting_asns(GUID.from_name(f"u{i}"))[0]] += 1
+        values = np.asarray(list(counts.values()))
+        assert values.min() > 100  # expected 200
+        assert values.max() < 340
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ASNumberPlacer([])
+
+    def test_k_mismatch_rejected(self):
+        from repro.hashing.hashers import Sha256Hasher
+
+        with pytest.raises(ConfigurationError):
+            ASNumberPlacer([1, 2], k=3, hash_family=Sha256Hasher(2, address_bits=64))
+
+    def test_plugs_into_resolver(self, base_table, router, asns, rng):
+        placer = ASNumberPlacer(asns, k=5)
+        resolver = DMapResolver(base_table, router, placer=placer)
+        assert resolver.k == 5
+        guid = GUID.from_name("asnum-host")
+        home = int(rng.choice(asns))
+        resolver.insert(guid, [base_table.representative_address(home)], home)
+        result = resolver.lookup(guid, int(rng.choice(asns)))
+        assert result.entry.guid == guid
+        assert set(resolver.placer.hosting_asns(guid)) <= set(asns)
+
+
+class TestWeightedASPlacer:
+    def test_shares_match_weights(self):
+        placer = WeightedASPlacer({1: 3.0, 2: 1.0}, k=1)
+        assert placer.share_of(1) == pytest.approx(0.75)
+        assert placer.share_of(2) == pytest.approx(0.25)
+
+    def test_empirical_distribution(self):
+        placer = WeightedASPlacer({1: 6.0, 2: 3.0, 3: 1.0}, k=1)
+        counts = {1: 0, 2: 0, 3: 0}
+        for i in range(20_000):
+            counts[placer.hosting_asns(GUID.from_name(f"w{i}"))[0]] += 1
+        assert counts[1] / 20_000 == pytest.approx(0.6, abs=0.02)
+        assert counts[2] / 20_000 == pytest.approx(0.3, abs=0.02)
+        assert counts[3] / 20_000 == pytest.approx(0.1, abs=0.02)
+
+    def test_zero_weight_as_gets_nothing(self):
+        placer = WeightedASPlacer({1: 1.0, 2: 0.0}, k=1)
+        for i in range(500):
+            assert placer.hosting_asns(GUID.from_name(f"z{i}")) == [1]
+
+    def test_deterministic(self):
+        placer = WeightedASPlacer({1: 1.0, 2: 2.0}, k=4)
+        g = GUID.from_name("det")
+        assert placer.hosting_asns(g) == placer.hosting_asns(g)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WeightedASPlacer({})
+        with pytest.raises(ConfigurationError):
+            WeightedASPlacer({1: -1.0})
+        with pytest.raises(ConfigurationError):
+            WeightedASPlacer({1: 0.0})
+        with pytest.raises(ConfigurationError):
+            WeightedASPlacer({1: 1.0}).share_of(99)
+
+    def test_space_proportional_weights_recover_baseline_profile(
+        self, base_table
+    ):
+        # Weights = effective announced span → replica share tracks span
+        # share, i.e. the baseline DMap load profile (§VII).
+        spans = base_table.build_interval_index().effective_span_by_asn()
+        placer = WeightedASPlacer({a: float(s) for a, s in spans.items()}, k=1)
+        big = max(spans, key=spans.get)
+        small = min(spans, key=spans.get)
+        assert placer.share_of(big) > placer.share_of(small)
+        assert placer.share_of(big) == pytest.approx(
+            spans[big] / sum(spans.values()), rel=1e-9
+        )

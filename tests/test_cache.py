@@ -1,0 +1,137 @@
+"""Tests for the in-network caching layer (§VII future work)."""
+
+import pytest
+
+from repro.core.cache import CachingResolver
+from repro.core.guid import GUID
+from repro.core.resolver import DMapResolver
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def cached(base_table, router):
+    resolver = DMapResolver(base_table, router, k=5)
+    return CachingResolver(resolver, ttl_ms=10_000.0), resolver
+
+
+def insert_host(resolver, table, guid, asn):
+    resolver.insert(guid, [table.representative_address(asn)], asn)
+
+
+class TestCacheBasics:
+    def test_miss_then_hit(self, cached, base_table, asns, rng):
+        caching, resolver = cached
+        guid = GUID.from_name("cachee")
+        insert_host(resolver, base_table, guid, int(rng.choice(asns)))
+        src = int(rng.choice(asns))
+
+        first, was_cached_1 = caching.lookup(guid, src)
+        second, was_cached_2 = caching.lookup(guid, src)
+        assert not was_cached_1 and was_cached_2
+        assert second.rtt_ms <= first.rtt_ms
+        assert second.rtt_ms == pytest.approx(
+            2.0 * resolver.router.topology.intra_latency(src)
+        )
+        assert caching.stats.hits == 1
+        assert caching.stats.misses == 1
+        assert caching.stats.hit_rate == 0.5
+
+    def test_caches_are_per_as(self, cached, base_table, asns, rng):
+        caching, resolver = cached
+        guid = GUID.from_name("percached")
+        insert_host(resolver, base_table, guid, int(rng.choice(asns)))
+        caching.lookup(guid, asns[0])
+        _result, was_cached = caching.lookup(guid, asns[1])
+        assert not was_cached
+
+    def test_ttl_expiry(self, cached, base_table, asns, rng):
+        caching, resolver = cached
+        guid = GUID.from_name("expiring")
+        insert_host(resolver, base_table, guid, int(rng.choice(asns)))
+        src = int(rng.choice(asns))
+        caching.lookup(guid, src)
+        caching.advance_time(20_000.0)  # ttl is 10s
+        _result, was_cached = caching.lookup(guid, src)
+        assert not was_cached
+        assert caching.stats.misses == 2
+
+    def test_invalidate(self, cached, base_table, asns, rng):
+        caching, resolver = cached
+        guid = GUID.from_name("invalidated")
+        insert_host(resolver, base_table, guid, int(rng.choice(asns)))
+        caching.lookup(guid, asns[0])
+        caching.lookup(guid, asns[1])
+        removed = caching.invalidate(guid)
+        assert removed == 2
+        assert caching.cached_entries() == 0
+
+    def test_invalidate_single_as(self, cached, base_table, asns, rng):
+        caching, resolver = cached
+        guid = GUID.from_name("inv-one")
+        insert_host(resolver, base_table, guid, int(rng.choice(asns)))
+        caching.lookup(guid, asns[0])
+        caching.lookup(guid, asns[1])
+        assert caching.invalidate(guid, asn=asns[0]) == 1
+        assert caching.cached_entries() == 1
+
+    def test_validation(self, cached):
+        caching, resolver = cached
+        with pytest.raises(ConfigurationError):
+            CachingResolver(resolver, ttl_ms=-1)
+        with pytest.raises(ConfigurationError):
+            caching.advance_time(-1)
+
+
+class TestStalenessUnderMobility:
+    def test_stale_hit_detected_and_repaired(self, cached, base_table, asns, rng):
+        caching, resolver = cached
+        guid = GUID.from_name("mover")
+        old_asn, new_asn = asns[0], asns[1]
+        insert_host(resolver, base_table, guid, old_asn)
+        src = asns[10]
+        caching.lookup(guid, src)  # cache the old binding
+
+        # The host moves; the cached copy is now stale but within TTL.
+        resolver.update(
+            guid, [base_table.representative_address(new_asn)], new_asn
+        )
+        result, was_cached = caching.lookup(guid, src)
+        assert was_cached
+        assert caching.stats.stale_hits == 1
+        # The answer ultimately returned is the fresh binding, and its
+        # cost includes both the wasted local read and the re-resolution.
+        assert result.locators == (base_table.representative_address(new_asn),)
+        fresh_rtt = resolver.lookup(guid, src).rtt_ms
+        assert result.rtt_ms > fresh_rtt
+
+    def test_stale_slot_replaced(self, cached, base_table, asns, rng):
+        caching, resolver = cached
+        guid = GUID.from_name("mover2")
+        insert_host(resolver, base_table, guid, asns[0])
+        src = asns[10]
+        caching.lookup(guid, src)
+        resolver.update(guid, [base_table.representative_address(asns[1])], asns[1])
+        caching.lookup(guid, src)  # stale hit; slot refreshed
+        result, was_cached = caching.lookup(guid, src)
+        assert was_cached
+        assert caching.stats.stale_hits == 1  # no second stale read
+        assert result.locators == (base_table.representative_address(asns[1]),)
+
+    def test_staleness_rate_grows_with_mobility(self, base_table, router, asns, rng):
+        # Cache with long TTL; compare a slow mover against a fast mover.
+        def staleness(move_every_n_queries):
+            resolver = DMapResolver(base_table, router, k=5)
+            caching = CachingResolver(resolver, ttl_ms=1e9)
+            guid = GUID.from_name(f"rate-{move_every_n_queries}")
+            insert_host(resolver, base_table, guid, asns[0])
+            src = asns[10]
+            for i in range(60):
+                if i % move_every_n_queries == 0:
+                    target = asns[(i // move_every_n_queries) % len(asns)]
+                    resolver.update(
+                        guid, [base_table.representative_address(target)], target
+                    )
+                caching.lookup(guid, src)
+            return caching.stats.staleness_rate
+
+        assert staleness(2) > staleness(20)

@@ -1,0 +1,101 @@
+"""Tests for BGP churn schedules and inconsistent views."""
+
+import pytest
+
+from repro.bgp.churn import (
+    ChurnEvent,
+    ChurnKind,
+    ChurnScheduleGenerator,
+    churned_fraction,
+    perturb_view,
+)
+from repro.bgp.prefix import Announcement, Prefix
+from repro.bgp.table import GlobalPrefixTable
+from repro.errors import ConfigurationError
+
+
+def ann(cidr: str, asn: int) -> Announcement:
+    return Announcement(Prefix.from_cidr(cidr), asn)
+
+
+@pytest.fixture
+def churn_table():
+    return GlobalPrefixTable(
+        [ann(f"{10 + i}.0.0.0/8", i + 1) for i in range(20)]
+    )
+
+
+class TestScheduleGenerator:
+    def test_events_are_time_ordered_and_bounded(self, churn_table):
+        gen = ChurnScheduleGenerator(churn_table, 0.5, 0.5, seed=1)
+        times = []
+        for event in gen.events(horizon=100.0):
+            times.append(event.time)
+            event.apply(churn_table)
+        assert times == sorted(times)
+        assert all(t < 100.0 for t in times)
+        assert times, "expected some churn in 100 time units at rate 1.0"
+
+    def test_withdrawals_target_announced_prefixes(self, churn_table):
+        gen = ChurnScheduleGenerator(churn_table, 0.0, 1.0, seed=2)
+        for event in gen.events(horizon=10.0):
+            assert event.kind is ChurnKind.WITHDRAW
+            assert event.announcement.prefix in churn_table
+            event.apply(churn_table)
+
+    def test_announcements_are_flaps(self, churn_table):
+        gen = ChurnScheduleGenerator(churn_table, 1.0, 1.0, seed=3)
+        withdrawn = set()
+        for event in gen.events(horizon=60.0):
+            if event.kind is ChurnKind.WITHDRAW:
+                withdrawn.add(event.announcement.prefix)
+            else:
+                assert event.announcement.prefix in withdrawn
+                assert event.announcement.prefix not in churn_table
+            event.apply(churn_table)
+
+    def test_invalid_rates_rejected(self, churn_table):
+        with pytest.raises(ConfigurationError):
+            ChurnScheduleGenerator(churn_table, -1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            ChurnScheduleGenerator(churn_table, 0.0, 0.0)
+
+
+class TestPerturbView:
+    def test_fraction_zero_is_identity(self, churn_table):
+        view, removed = perturb_view(churn_table, 0.0)
+        assert removed == []
+        assert churned_fraction(churn_table, view) == 0.0
+
+    def test_fraction_removed(self, churn_table):
+        view, removed = perturb_view(churn_table, 0.25, seed=4)
+        assert len(removed) == 5
+        assert churned_fraction(churn_table, view) == pytest.approx(0.25)
+        for a in removed:
+            assert a.prefix not in view
+            assert a.prefix in churn_table
+
+    def test_original_untouched(self, churn_table):
+        before = len(churn_table)
+        perturb_view(churn_table, 0.5, seed=5)
+        assert len(churn_table) == before
+
+    def test_bad_fraction(self, churn_table):
+        with pytest.raises(ConfigurationError):
+            perturb_view(churn_table, 1.5)
+
+    def test_deterministic(self, churn_table):
+        _v1, r1 = perturb_view(churn_table, 0.3, seed=6)
+        _v2, r2 = perturb_view(churn_table, 0.3, seed=6)
+        assert r1 == r2
+
+
+class TestChurnedFraction:
+    def test_empty_reference(self):
+        empty = GlobalPrefixTable()
+        assert churned_fraction(empty, empty) == 0.0
+
+    def test_counts_missing_only(self, churn_table):
+        view = churn_table.copy()
+        view.announce(ann("200.0.0.0/8", 999))  # extra prefix: not churn
+        assert churned_fraction(churn_table, view) == 0.0

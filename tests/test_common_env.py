@@ -1,0 +1,79 @@
+"""Tests for the shared experiment environment plumbing."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import Environment, Scale, get_environment, resolve_scale
+
+
+@pytest.fixture
+def tiny_scale():
+    return Scale("unit", 80, 100, 500, 4.0, 80_000)
+
+
+class TestResolveScale:
+    def test_env_var_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        assert resolve_scale().name == "medium"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        assert resolve_scale("small").name == "small"
+
+    def test_default_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert resolve_scale().name == "small"
+
+
+class TestEnvironment:
+    def test_deterministic_across_instances(self, tiny_scale, tmp_path):
+        env_a = Environment(tiny_scale, seed=1, cache_dir=str(tmp_path))
+        env_b = Environment(tiny_scale, seed=1, cache_dir=str(tmp_path))
+        assert env_a.topology.asns() == env_b.topology.asns()
+        assert sorted(env_a.table) == sorted(env_b.table)
+
+    def test_topology_cached_on_disk(self, tiny_scale, tmp_path):
+        Environment(tiny_scale, seed=2, cache_dir=str(tmp_path))
+        cached = [f for f in os.listdir(tmp_path) if f.endswith(".npz")]
+        assert len(cached) == 1
+        # Second construction loads the cache (mtime unchanged).
+        path = tmp_path / cached[0]
+        mtime = path.stat().st_mtime_ns
+        Environment(tiny_scale, seed=2, cache_dir=str(tmp_path))
+        assert path.stat().st_mtime_ns == mtime
+
+    def test_table_covers_all_ases(self, tiny_scale, tmp_path):
+        env = Environment(tiny_scale, seed=3, cache_dir=str(tmp_path))
+        assert set(env.table.asns()) == set(env.topology.asns())
+
+    def test_router_is_usable(self, tiny_scale, tmp_path):
+        env = Environment(tiny_scale, seed=4, cache_dir=str(tmp_path))
+        asns = env.topology.asns()
+        assert env.router.rtt_ms(asns[0], asns[-1]) > 0
+
+
+class TestWorkloadGroupingEquivalence:
+    def test_grouped_and_ungrouped_rtts_match(self, topology, base_table, router):
+        """Grouping by source is a pure performance optimization: the RTT
+        multiset must be identical to strict time-order execution."""
+        from repro.core.resolver import DMapResolver
+        from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+        workload = WorkloadGenerator(
+            topology, WorkloadConfig(n_guids=60, n_lookups=400, seed=8)
+        ).generate()
+        grouped = WorkloadGenerator(
+            topology, WorkloadConfig(n_guids=60, n_lookups=400, seed=8)
+        ).generate()
+
+        r1 = DMapResolver(base_table, router, k=5)
+        r2 = DMapResolver(base_table, router, k=5)
+        in_order = workload.run_through_resolver(
+            r1, base_table, group_by_source=False
+        )
+        by_source = grouped.run_through_resolver(
+            r2, base_table, group_by_source=True
+        )
+        assert sorted(in_order) == pytest.approx(sorted(by_source))

@@ -1,0 +1,86 @@
+"""Tests for topology persistence and fixtures."""
+
+import os
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.datasets import (
+    cached_topology,
+    line_fixture,
+    load_topology,
+    save_topology,
+    star_fixture,
+)
+from repro.topology.generator import generate_internet_topology, small_scale_config
+
+
+class TestFixtures:
+    def test_line(self):
+        topo = line_fixture(n=4, link_ms=10.0)
+        assert len(topo) == 4
+        assert topo.n_links() == 3
+        topo.validate()
+
+    def test_line_too_small(self):
+        with pytest.raises(TopologyError):
+            line_fixture(n=1)
+
+    def test_star(self):
+        topo = star_fixture(n_leaves=5)
+        assert len(topo) == 6
+        assert topo.degree(1) == 5
+        topo.validate()
+
+    def test_star_too_small(self):
+        with pytest.raises(TopologyError):
+            star_fixture(n_leaves=0)
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        original = generate_internet_topology(small_scale_config(n_as=60), seed=3)
+        path = str(tmp_path / "topo.npz")
+        save_topology(original, path)
+        loaded = load_topology(path)
+        assert loaded.asns() == original.asns()
+        assert loaded.n_links() == original.n_links()
+        for asn in original.asns():
+            a, b = original.info(asn), loaded.info(asn)
+            assert a.tier == b.tier
+            assert a.intra_latency_ms == pytest.approx(b.intra_latency_ms)
+            assert a.endnodes == b.endnodes
+        for link in original.links():
+            assert loaded.link_latency(link.a, link.b) == pytest.approx(
+                link.latency_ms
+            )
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(TopologyError):
+            load_topology(str(tmp_path / "nope.npz"))
+
+    def test_cached_topology_generates_once(self, tmp_path):
+        path = str(tmp_path / "cache" / "topo.npz")
+        calls = []
+
+        def generate():
+            calls.append(1)
+            return line_fixture(n=4)
+
+        first = cached_topology(path, generate)
+        second = cached_topology(path, generate)
+        assert len(calls) == 1
+        assert os.path.exists(path)
+        assert second.asns() == first.asns()
+
+    def test_cached_topology_force(self, tmp_path):
+        path = str(tmp_path / "topo.npz")
+        calls = []
+
+        def generate():
+            calls.append(1)
+            return line_fixture(n=4)
+
+        cached_topology(path, generate)
+        cached_topology(path, generate, force=True)
+        assert len(calls) == 2

@@ -1,0 +1,130 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(30.0, lambda: fired.append("c"))
+        sim.schedule(10.0, lambda: fired.append("a"))
+        sim.schedule(20.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 30.0
+
+    def test_ties_break_by_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(5.0, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(42.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [42.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(5.0, lambda: fired.append(("inner", sim.now)))
+
+        sim.schedule(10.0, outer)
+        sim.run()
+        assert fired == [("outer", 10.0), ("inner", 15.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(10.0, lambda: fired.append("x"))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(10.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.run() == 0
+
+    def test_pending_skips_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending() == 1
+
+
+class TestRunControl:
+    def test_until_stops_cleanly(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append("a"))
+        sim.schedule(30.0, lambda: fired.append("b"))
+        sim.run(until=20.0)
+        assert fired == ["a"]
+        assert sim.now == 20.0
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_until_after_all_events(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=100.0)
+        assert sim.now == 100.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i), lambda i=i: fired.append(i))
+        executed = sim.run(max_events=3)
+        assert executed == 3
+        assert fired == [0, 1, 2]
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_executed == 4

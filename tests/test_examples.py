@@ -1,0 +1,65 @@
+"""Smoke checks for the example scripts.
+
+Full example runs take tens of seconds each, so the suite verifies the
+cheap invariants — the scripts parse, expose ``main``, and reference only
+real public API — and executes the fastest one end-to-end.
+"""
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "mobile_voice_call.py",
+    "content_delivery.py",
+    "churn_resilience.py",
+    "sparse_address_space.py",
+    "transient_churn_sim.py",
+]
+
+
+def load_module(filename):
+    path = os.path.join(EXAMPLES_DIR, filename)
+    spec = importlib.util.spec_from_file_location(
+        f"example_{filename[:-3]}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    return spec, module
+
+
+class TestExamplesStructure:
+    @pytest.mark.parametrize("filename", EXAMPLES)
+    def test_exists_and_compiles(self, filename):
+        path = os.path.join(EXAMPLES_DIR, filename)
+        assert os.path.exists(path), f"missing example {filename}"
+        with open(path) as handle:
+            source = handle.read()
+        compile(source, filename, "exec")
+        assert "def main(" in source
+        assert '__name__ == "__main__"' in source
+        assert source.startswith("#!/usr/bin/env python")
+
+    @pytest.mark.parametrize("filename", EXAMPLES)
+    def test_imports_resolve(self, filename):
+        spec, module = load_module(filename)
+        spec.loader.exec_module(module)  # imports run; main() does not
+        assert callable(module.main)
+
+
+class TestQuickstartRuns:
+    def test_quickstart_end_to_end(self):
+        result = subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "done." in result.stdout
+        assert "resolved" in result.stdout

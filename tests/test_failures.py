@@ -1,0 +1,96 @@
+"""Tests for the failure-injection models."""
+
+import pytest
+
+from repro.core.guid import GUID
+from repro.core.resolver import OUTCOME_HIT, OUTCOME_MISSING, OUTCOME_TIMEOUT
+from repro.errors import ConfigurationError
+from repro.sim.failures import (
+    ChurnFailureModel,
+    CompositeFailureModel,
+    FailureModel,
+    RouterFailureModel,
+)
+
+
+class TestBaseModel:
+    def test_everything_works(self):
+        model = FailureModel()
+        assert model.lookup_outcome(1, GUID(1)) == OUTCOME_HIT
+        assert not model.is_down(1)
+
+
+class TestChurnModel:
+    def test_rate_zero_never_fails(self):
+        model = ChurnFailureModel(0.0)
+        assert all(
+            model.lookup_outcome(1, GUID(i)) == OUTCOME_HIT for i in range(100)
+        )
+
+    def test_rate_one_always_fails(self):
+        model = ChurnFailureModel(1.0)
+        assert all(
+            model.lookup_outcome(1, GUID(i)) == OUTCOME_MISSING for i in range(100)
+        )
+
+    def test_empirical_rate(self):
+        model = ChurnFailureModel(0.2, seed=1)
+        misses = sum(
+            model.lookup_outcome(1, GUID(i)) == OUTCOME_MISSING
+            for i in range(10_000)
+        )
+        assert misses / 10_000 == pytest.approx(0.2, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChurnFailureModel(1.5)
+
+    def test_never_marks_down(self):
+        assert not ChurnFailureModel(0.5).is_down(1)
+
+
+class TestRouterFailureModel:
+    def test_down_set(self):
+        model = RouterFailureModel([3, 7])
+        assert model.is_down(3)
+        assert not model.is_down(4)
+        assert model.lookup_outcome(3, GUID(1)) == OUTCOME_TIMEOUT
+        assert model.lookup_outcome(4, GUID(1)) == OUTCOME_HIT
+
+    def test_random_fraction(self):
+        asns = list(range(1, 101))
+        model = RouterFailureModel.random(asns, 0.1, seed=2)
+        assert len(model.down) == 10
+        assert model.down <= set(asns)
+
+    def test_random_zero(self):
+        model = RouterFailureModel.random(list(range(10)), 0.0)
+        assert not model.down
+
+    def test_random_validation(self):
+        with pytest.raises(ConfigurationError):
+            RouterFailureModel.random([1, 2], 2.0)
+
+    def test_random_deterministic(self):
+        asns = list(range(1, 51))
+        a = RouterFailureModel.random(asns, 0.2, seed=9)
+        b = RouterFailureModel.random(asns, 0.2, seed=9)
+        assert a.down == b.down
+
+
+class TestCompositeModel:
+    def test_worst_outcome_wins(self):
+        composite = CompositeFailureModel(
+            [ChurnFailureModel(1.0), RouterFailureModel([5])]
+        )
+        assert composite.lookup_outcome(5, GUID(1)) == OUTCOME_TIMEOUT
+        assert composite.lookup_outcome(6, GUID(1)) == OUTCOME_MISSING
+
+    def test_is_down_any(self):
+        composite = CompositeFailureModel([FailureModel(), RouterFailureModel([2])])
+        assert composite.is_down(2)
+        assert not composite.is_down(3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompositeFailureModel([])

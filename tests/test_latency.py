@@ -1,0 +1,95 @@
+"""Tests for the latency and geography models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology.latency import GeographyModel, LatencyModel
+
+
+class TestLatencyModel:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(per_km_ms=0).validate()
+        with pytest.raises(ConfigurationError):
+            LatencyModel(intra_median_ms=0).validate()
+        with pytest.raises(ConfigurationError):
+            LatencyModel(outlier_fraction=1.0).validate()
+        with pytest.raises(ConfigurationError):
+            LatencyModel(outlier_low_ms=100, outlier_high_ms=50).validate()
+        LatencyModel().validate()
+
+    def test_link_latency_scales_with_distance(self):
+        model = LatencyModel()
+        near = model.link_latency_ms((0, 0), (10, 0))
+        far = model.link_latency_ms((0, 0), (5000, 0))
+        assert model.link_floor_ms < near < far
+        assert far - near == pytest.approx(model.per_km_ms * 4990)
+
+    def test_link_latency_symmetric(self):
+        model = LatencyModel()
+        assert model.link_latency_ms((1, 2), (3, 4)) == model.link_latency_ms(
+            (3, 4), (1, 2)
+        )
+
+    def test_intra_latencies_median(self):
+        model = LatencyModel(outlier_fraction=0.0)
+        rng = np.random.default_rng(0)
+        draws = model.intra_latencies_ms(20_000, rng)
+        assert np.median(draws) == pytest.approx(model.intra_median_ms, rel=0.05)
+        assert (draws > 0).all()
+
+    def test_outliers_present_at_configured_rate(self):
+        model = LatencyModel(outlier_fraction=0.01)
+        rng = np.random.default_rng(1)
+        draws = model.intra_latencies_ms(50_000, rng)
+        extreme = (draws >= model.outlier_low_ms).mean()
+        assert extreme == pytest.approx(0.01, abs=0.005)
+
+    def test_outliers_can_be_disabled(self):
+        model = LatencyModel(outlier_fraction=0.05)
+        rng = np.random.default_rng(2)
+        draws = model.intra_latencies_ms(10_000, rng, allow_outliers=False)
+        # Lognormal tail can exceed 150 ms very rarely; outliers would be ~5%.
+        assert (draws >= model.outlier_low_ms).mean() < 0.01
+
+    def test_count_validation(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel().intra_latencies_ms(-1, np.random.default_rng(0))
+
+    def test_zero_count(self):
+        assert len(LatencyModel().intra_latencies_ms(0, np.random.default_rng(0))) == 0
+
+
+class TestGeographyModel:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GeographyModel(width_km=0).validate()
+        with pytest.raises(ConfigurationError):
+            GeographyModel(stub_spread_km=-1).validate()
+
+    def test_random_site_in_bounds(self):
+        geo = GeographyModel()
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            x, y = geo.random_site(rng)
+            assert 0 <= x <= geo.width_km
+            assert 0 <= y <= geo.height_km
+
+    def test_near_clamps_to_world(self):
+        geo = GeographyModel(width_km=100, height_km=100)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            x, y = geo.near((0.0, 0.0), spread_km=500, rng=rng)
+            assert 0 <= x <= 100
+            assert 0 <= y <= 100
+
+    def test_near_is_actually_near(self):
+        geo = GeographyModel()
+        rng = np.random.default_rng(0)
+        anchor = (9000.0, 4500.0)
+        points = np.array([geo.near(anchor, 100.0, rng) for _ in range(500)])
+        mean_dist = np.hypot(
+            points[:, 0] - anchor[0], points[:, 1] - anchor[1]
+        ).mean()
+        assert mean_dist < 300.0

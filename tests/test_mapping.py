@@ -1,0 +1,128 @@
+"""Unit tests for mapping entries and the per-AS store."""
+
+import pytest
+
+from repro.core.guid import GUID, MAX_LOCATORS, NetworkAddress
+from repro.core.mapping import MappingEntry, MappingStore
+from repro.errors import ConfigurationError, MappingNotFoundError
+
+
+def na(v: int) -> NetworkAddress:
+    return NetworkAddress(v)
+
+
+def entry(guid_value=1, locators=(1,), version=0, timestamp=0.0) -> MappingEntry:
+    return MappingEntry(
+        GUID(guid_value), tuple(na(v) for v in locators), version, timestamp
+    )
+
+
+class TestMappingEntry:
+    def test_requires_a_locator(self):
+        with pytest.raises(ConfigurationError):
+            MappingEntry(GUID(1), ())
+
+    def test_rejects_too_many_locators(self):
+        with pytest.raises(ConfigurationError):
+            entry(locators=tuple(range(MAX_LOCATORS + 1)))
+
+    def test_rejects_negative_version(self):
+        with pytest.raises(ConfigurationError):
+            entry(version=-1)
+
+    def test_primary_locator(self):
+        e = entry(locators=(7, 9))
+        assert e.primary_locator == na(7)
+
+    def test_with_locators_bumps_version(self):
+        e = entry(version=3)
+        e2 = e.with_locators([na(5)], timestamp=10.0)
+        assert e2.version == 4
+        assert e2.locators == (na(5),)
+        assert e2.timestamp == 10.0
+        assert e2.guid == e.guid
+
+    def test_size_bits_matches_paper(self):
+        # §IV-A: 160 + 32*5 + 32 = 352 bits regardless of locators in use.
+        assert entry(locators=(1,)).size_bits() == 352
+        assert entry(locators=(1, 2, 3)).size_bits() == 352
+
+
+class TestMappingStore:
+    def test_insert_and_lookup(self):
+        store = MappingStore(owner_asn=9)
+        e = entry()
+        assert store.insert(e)
+        assert store.lookup(e.guid) == e
+        assert len(store) == 1
+        assert e.guid in store
+
+    def test_lookup_missing_raises_with_context(self):
+        store = MappingStore(owner_asn=9)
+        with pytest.raises(MappingNotFoundError) as exc_info:
+            store.lookup(GUID(5))
+        assert exc_info.value.where == 9
+
+    def test_get_is_non_raising(self):
+        assert MappingStore().get(GUID(5)) is None
+
+    def test_stale_write_rejected(self):
+        store = MappingStore()
+        assert store.insert(entry(version=2))
+        assert not store.insert(entry(version=1))
+        assert store.lookup(GUID(1)).version == 2
+        assert store.stats.rejected_stale == 1
+
+    def test_equal_version_rewrite_allowed(self):
+        # Replays of the same update are idempotent, not rejected.
+        store = MappingStore()
+        store.insert(entry(version=1, locators=(1,)))
+        assert store.insert(entry(version=1, locators=(2,)))
+        assert store.lookup(GUID(1)).locators == (na(2),)
+
+    def test_delete(self):
+        store = MappingStore()
+        store.insert(entry())
+        assert store.delete(GUID(1))
+        assert not store.delete(GUID(1))
+        assert len(store) == 0
+
+    def test_pop_all_empties_store(self):
+        store = MappingStore()
+        store.insert(entry(guid_value=1))
+        store.insert(entry(guid_value=2))
+        popped = store.pop_all()
+        assert {e.guid.value for e in popped} == {1, 2}
+        assert len(store) == 0
+
+    def test_entries_for_guids_skips_absent(self):
+        store = MappingStore()
+        store.insert(entry(guid_value=1))
+        got = store.entries_for_guids([GUID(1), GUID(2)])
+        assert [e.guid.value for e in got] == [1]
+
+    def test_stats_counters(self):
+        store = MappingStore()
+        store.insert(entry(version=0))
+        store.insert(entry(version=1))
+        store.lookup(GUID(1))
+        store.get(GUID(99))  # get() does not touch stats
+        with pytest.raises(MappingNotFoundError):
+            store.lookup(GUID(99))
+        assert store.stats.inserts == 1
+        assert store.stats.updates == 1
+        assert store.stats.lookups == 2
+        assert store.stats.hits == 1
+        assert store.stats.misses == 1
+
+    def test_storage_bits(self):
+        store = MappingStore()
+        store.insert(entry(guid_value=1))
+        store.insert(entry(guid_value=2))
+        assert store.storage_bits() == 2 * 352
+
+    def test_iteration(self):
+        store = MappingStore()
+        store.insert(entry(guid_value=1))
+        store.insert(entry(guid_value=2))
+        assert {e.guid.value for e in store} == {1, 2}

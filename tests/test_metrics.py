@@ -1,0 +1,138 @@
+"""Tests for metrics collection and summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.metrics import (
+    MetricsCollector,
+    QueryRecord,
+    cdf_points,
+    fraction_below,
+    normalized_load_ratios,
+    summarize,
+)
+
+
+def record(rtt=10.0, success=True, used_local=False, attempts=1):
+    return QueryRecord(
+        guid_value=1,
+        source_asn=1,
+        issued_at=100.0,
+        completed_at=100.0 + rtt,
+        served_by=2 if success else None,
+        attempts=attempts,
+        used_local=used_local,
+        success=success,
+    )
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        summary = summarize([10.0, 20.0, 30.0, 40.0, 100.0])
+        assert summary.count == 5
+        assert summary.mean == pytest.approx(40.0)
+        assert summary.median == pytest.approx(30.0)
+        assert summary.max == 100.0
+        assert summary.p95 == pytest.approx(np.percentile([10, 20, 30, 40, 100], 95))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            summarize([])
+
+    def test_as_row_format(self):
+        row = summarize([10.0, 20.0]).as_row()
+        assert "mean=15.0ms" in row
+        assert "median=15.0ms" in row
+
+
+class TestCdf:
+    def test_full_cdf(self):
+        xs, ys = cdf_points([3.0, 1.0, 2.0])
+        assert xs.tolist() == [1.0, 2.0, 3.0]
+        assert ys.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_downsampled(self):
+        xs, ys = cdf_points(np.arange(1000.0), n_points=10)
+        assert len(xs) <= 10
+        assert ys[-1] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            cdf_points([])
+
+    def test_fraction_below(self):
+        assert fraction_below([1.0, 2.0, 3.0, 4.0], 2.5) == 0.5
+        assert fraction_below([1.0], 1.0) == 0.0  # strict
+
+
+class TestCollector:
+    def test_separates_failures(self):
+        collector = MetricsCollector()
+        collector.add(record(rtt=10.0))
+        collector.add(record(rtt=20.0, success=False))
+        assert len(collector.records) == 1
+        assert len(collector.failed) == 1
+        assert collector.rtts().tolist() == [10.0]
+
+    def test_local_hit_fraction(self):
+        collector = MetricsCollector()
+        collector.add(record(used_local=True))
+        collector.add(record(used_local=False))
+        assert collector.local_hit_fraction() == 0.5
+
+    def test_local_hit_fraction_empty(self):
+        assert MetricsCollector().local_hit_fraction() == 0.0
+
+    def test_mean_attempts(self):
+        collector = MetricsCollector()
+        collector.add(record(attempts=1))
+        collector.add(record(attempts=3))
+        assert collector.mean_attempts() == 2.0
+
+    def test_summary_and_cdf_delegate(self):
+        collector = MetricsCollector()
+        for rtt in (10.0, 20.0, 30.0):
+            collector.add(record(rtt=rtt))
+        assert collector.summary().median == 20.0
+        xs, _ys = collector.cdf()
+        assert len(xs) == 3
+
+    def test_rtt_property(self):
+        r = record(rtt=42.0)
+        assert r.rtt_ms == pytest.approx(42.0)
+
+
+class TestNormalizedLoadRatio:
+    def test_paper_example(self):
+        # §IV-B.2c: an AS announcing a /8 (0.39% of space) holding 2% of
+        # 1M GUIDs has NLR ≈ 5.
+        spans = {1: 1 << 24, 2: (1 << 32) - (1 << 24)}
+        counts = {1: 20_000, 2: 980_000}
+        ratios = normalized_load_ratios(counts, spans)
+        nlr_as1 = ratios[0] if list(spans)[0] == 1 else ratios[1]
+        assert nlr_as1 == pytest.approx(
+            (20_000 / 1_000_000) / ((1 << 24) / (1 << 32)), rel=1e-6
+        )
+        assert nlr_as1 == pytest.approx(5.12, rel=0.01)
+
+    def test_ideal_distribution_is_one(self):
+        spans = {1: 100, 2: 300}
+        counts = {1: 25, 2: 75}
+        assert normalized_load_ratios(counts, spans).tolist() == pytest.approx(
+            [1.0, 1.0]
+        )
+
+    def test_zero_load_as_included(self):
+        spans = {1: 100, 2: 100}
+        counts = {1: 10}
+        ratios = normalized_load_ratios(counts, spans)
+        assert 0.0 in ratios.tolist()
+
+    def test_empty_spans_rejected(self):
+        with pytest.raises(SimulationError):
+            normalized_load_ratios({1: 5}, {})
+
+    def test_zero_totals_rejected(self):
+        with pytest.raises(SimulationError):
+            normalized_load_ratios({}, {1: 100})

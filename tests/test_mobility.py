@@ -1,0 +1,105 @@
+"""Tests for the host mobility model."""
+
+import numpy as np
+import pytest
+
+from repro.core.guid import GUID
+from repro.errors import WorkloadError
+from repro.workload.generator import EventKind
+from repro.workload.mobility import (
+    MobilityModel,
+    PAPER_UPDATES_PER_DAY,
+    update_traffic_gbps,
+)
+
+DAY_MS = 86_400_000.0
+
+
+class TestMoveSchedules:
+    def test_rate_matches_configuration(self, topology):
+        model = MobilityModel(topology, updates_per_day=100, seed=0)
+        guid = GUID.from_name("car")
+        moves = model.moves_for_host(guid, topology.asns()[0], horizon_ms=DAY_MS)
+        # Poisson(100) over one day.
+        assert 60 <= len(moves) <= 140
+
+    def test_moves_within_horizon_and_ordered(self, topology):
+        model = MobilityModel(topology, seed=1)
+        moves = model.moves_for_host(
+            GUID(1), topology.asns()[0], horizon_ms=DAY_MS / 4
+        )
+        times = [m.time_ms for m in moves]
+        assert times == sorted(times)
+        assert all(0 <= t < DAY_MS / 4 for t in times)
+
+    def test_moves_chain_attachments(self, topology):
+        model = MobilityModel(topology, seed=2)
+        start = topology.asns()[0]
+        moves = model.moves_for_host(GUID(1), start, horizon_ms=DAY_MS)
+        current = start
+        for move in moves:
+            assert move.from_asn == current
+            current = move.to_asn
+
+    def test_neighborhood_regime_moves_to_neighbors(self, topology):
+        model = MobilityModel(topology, regime="neighborhood", seed=3)
+        start = topology.asns()[5]
+        moves = model.moves_for_host(GUID(1), start, horizon_ms=DAY_MS / 2)
+        for move in moves:
+            assert move.to_asn in topology.neighbors(move.from_asn)
+
+    def test_global_regime_reaches_far(self, topology):
+        model = MobilityModel(topology, regime="global", seed=4)
+        start = topology.asns()[5]
+        moves = model.moves_for_host(GUID(1), start, horizon_ms=DAY_MS)
+        non_neighbor = sum(
+            1
+            for m in moves
+            if m.to_asn not in topology.neighbors(m.from_asn)
+        )
+        assert non_neighbor > 0
+
+    def test_population_schedule_merged_sorted(self, topology):
+        model = MobilityModel(topology, seed=5)
+        homes = {GUID(i): topology.asns()[i] for i in range(5)}
+        moves = model.moves_for_population(homes, horizon_ms=DAY_MS / 10)
+        times = [m.time_ms for m in moves]
+        assert times == sorted(times)
+        assert {m.guid for m in moves} <= set(homes)
+
+    def test_to_update_events(self, topology):
+        model = MobilityModel(topology, seed=6)
+        moves = model.moves_for_host(GUID(1), topology.asns()[0], DAY_MS / 10)
+        events = MobilityModel.to_update_events(moves)
+        assert len(events) == len(moves)
+        for move, event in zip(moves, events):
+            assert event.kind is EventKind.UPDATE
+            assert event.source_asn == move.to_asn
+            assert event.time_ms == move.time_ms
+
+    def test_validation(self, topology):
+        with pytest.raises(WorkloadError):
+            MobilityModel(topology, updates_per_day=0)
+        with pytest.raises(WorkloadError):
+            MobilityModel(topology, regime="teleport")
+        model = MobilityModel(topology)
+        with pytest.raises(WorkloadError):
+            model.moves_for_host(GUID(1), topology.asns()[0], -1.0)
+
+
+class TestTrafficFormula:
+    def test_paper_headline_number(self):
+        # §IV-A: 5B hosts × 100 updates/day × K=5 × 352 bits ≈ 10 Gb/s.
+        gbps = update_traffic_gbps(5e9, PAPER_UPDATES_PER_DAY, 352.0 * 5)
+        assert gbps == pytest.approx(10.2, abs=0.1)
+
+    def test_scales_linearly(self):
+        assert update_traffic_gbps(2e9) == pytest.approx(
+            2 * update_traffic_gbps(1e9)
+        )
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            update_traffic_gbps(-1)
+        with pytest.raises(WorkloadError):
+            update_traffic_gbps(1e9, bits_per_update=0)

@@ -1,0 +1,89 @@
+"""Tests for the Mandelbrot-Zipf popularity model (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.popularity import MandelbrotZipf, PAPER_ALPHA, PAPER_Q
+
+
+class TestDistribution:
+    def test_pmf_sums_to_one(self):
+        dist = MandelbrotZipf(1000)
+        assert dist.pmf_array().sum() == pytest.approx(1.0)
+
+    def test_pmf_decreasing_in_rank(self):
+        dist = MandelbrotZipf(500)
+        pmf = dist.pmf_array()
+        assert (np.diff(pmf) <= 0).all()
+
+    def test_eq1_formula(self):
+        # p(k) = H / (k + q)^alpha with H the normalizer.
+        n, alpha, q = 100, 1.5, 10.0
+        dist = MandelbrotZipf(n, alpha, q)
+        h = 1.0 / sum(1.0 / (k + q) ** alpha for k in range(1, n + 1))
+        assert dist.normalization == pytest.approx(h)
+        assert dist.pmf(1) == pytest.approx(h / (1 + q) ** alpha)
+        assert dist.pmf(n) == pytest.approx(h / (n + q) ** alpha)
+
+    def test_q_flattens_head(self):
+        # Larger q → the top rank holds a smaller share (flatter peak).
+        pure = MandelbrotZipf(1000, alpha=1.02, q=0.0)
+        flat = MandelbrotZipf(1000, alpha=1.02, q=100.0)
+        assert flat.pmf(1) < pure.pmf(1)
+        # And the head-to-rank-50 contrast shrinks.
+        assert flat.pmf(1) / flat.pmf(50) < pure.pmf(1) / pure.pmf(50)
+
+    def test_alpha_skews(self):
+        mild = MandelbrotZipf(1000, alpha=0.8, q=10.0)
+        steep = MandelbrotZipf(1000, alpha=2.0, q=10.0)
+        assert steep.pmf(1) > mild.pmf(1)
+
+    def test_paper_parameters_exported(self):
+        assert PAPER_ALPHA == 1.02
+        assert PAPER_Q == 100.0
+
+    def test_pmf_rank_bounds(self):
+        dist = MandelbrotZipf(10)
+        with pytest.raises(WorkloadError):
+            dist.pmf(0)
+        with pytest.raises(WorkloadError):
+            dist.pmf(11)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            MandelbrotZipf(0)
+        with pytest.raises(WorkloadError):
+            MandelbrotZipf(10, alpha=0)
+        with pytest.raises(WorkloadError):
+            MandelbrotZipf(10, q=-1)
+
+
+class TestSampling:
+    def test_ranks_in_range(self):
+        dist = MandelbrotZipf(50)
+        ranks = dist.sample_ranks(10_000, np.random.default_rng(0))
+        assert ranks.min() >= 1
+        assert ranks.max() <= 50
+
+    def test_empirical_matches_pmf(self):
+        dist = MandelbrotZipf(20, alpha=1.2, q=5.0)
+        ranks = dist.sample_ranks(100_000, np.random.default_rng(1))
+        counts = np.bincount(ranks, minlength=21)[1:]
+        empirical = counts / counts.sum()
+        np.testing.assert_allclose(empirical, dist.pmf_array(), atol=0.01)
+
+    def test_deterministic_in_seed(self):
+        dist = MandelbrotZipf(100)
+        a = dist.sample_ranks(100, np.random.default_rng(7))
+        b = dist.sample_ranks(100, np.random.default_rng(7))
+        assert (a == b).all()
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            MandelbrotZipf(10).sample_ranks(-1, np.random.default_rng(0))
+
+    def test_expected_queries(self):
+        dist = MandelbrotZipf(10)
+        expected = dist.expected_queries(1000)
+        assert expected.sum() == pytest.approx(1000.0)

@@ -1,0 +1,92 @@
+"""Tests for replica sets and selection policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.guid import GUID
+from repro.core.replication import ReplicaSelector, ReplicaSet
+from repro.errors import ConfigurationError
+from repro.hashing.rehash import HashResolution
+from repro.topology.datasets import line_fixture
+from repro.topology.routing import Router
+
+
+def res(asn: int, address: int = 0) -> HashResolution:
+    return HashResolution(address, asn, attempts=1, via_deputy=False)
+
+
+class TestReplicaSet:
+    def test_global_asns_preserve_order_and_repeats(self):
+        rs = ReplicaSet(GUID(1), (res(5), res(3), res(5)))
+        assert rs.global_asns == (5, 3, 5)
+
+    def test_all_asns_dedup_with_local(self):
+        rs = ReplicaSet(GUID(1), (res(5), res(3), res(5)), local_asn=7)
+        assert rs.all_asns == (5, 3, 7)
+
+    def test_local_equal_to_global_not_duplicated(self):
+        rs = ReplicaSet(GUID(1), (res(5), res(3)), local_asn=3)
+        assert rs.all_asns == (5, 3)
+
+
+class TestReplicaSelector:
+    @pytest.fixture(scope="class")
+    def line_router(self):
+        return Router(line_fixture(n=6, link_ms=10.0, intra_ms=1.0))
+
+    def test_latency_policy_orders_by_distance(self, line_router):
+        selector = ReplicaSelector(line_router, "latency")
+        assert selector.order_candidates(1, [6, 3, 2]) == [2, 3, 6]
+
+    def test_hops_policy(self, line_router):
+        selector = ReplicaSelector(line_router, "hops")
+        assert selector.order_candidates(4, [1, 6, 5]) == [5, 6, 1]
+
+    def test_self_is_closest(self, line_router):
+        selector = ReplicaSelector(line_router, "latency")
+        assert selector.order_candidates(3, [6, 3, 1])[0] == 3
+
+    def test_duplicates_removed(self, line_router):
+        selector = ReplicaSelector(line_router, "latency")
+        assert selector.order_candidates(1, [4, 4, 2, 2]) == [2, 4]
+
+    def test_random_policy_is_permutation(self, line_router):
+        selector = ReplicaSelector(line_router, "random", np.random.default_rng(3))
+        ordered = selector.order_candidates(1, [2, 3, 4, 5])
+        assert sorted(ordered) == [2, 3, 4, 5]
+
+    def test_random_policy_varies(self, line_router):
+        selector = ReplicaSelector(line_router, "random", np.random.default_rng(3))
+        draws = {tuple(selector.order_candidates(1, [2, 3, 4, 5])) for _ in range(20)}
+        assert len(draws) > 1
+
+    def test_unknown_policy_rejected(self, line_router):
+        with pytest.raises(ConfigurationError):
+            ReplicaSelector(line_router, "nearest")
+
+    def test_empty_candidates_rejected(self, line_router):
+        selector = ReplicaSelector(line_router, "latency")
+        with pytest.raises(ConfigurationError):
+            selector.order_candidates(1, [])
+
+    def test_best_rtt(self, line_router):
+        selector = ReplicaSelector(line_router, "latency")
+        # 1 -> 2: intra 1 + link 10 + intra 1 = 12 one way, 24 RTT.
+        assert selector.best_rtt_ms(1, [6, 2]) == pytest.approx(24.0)
+
+    def test_latency_vs_hops_can_disagree(self, topology, router, rng):
+        # On the generated graph with heterogeneous link latencies the two
+        # policies must rank identically-reachable candidates differently
+        # at least sometimes.
+        latency_sel = ReplicaSelector(router, "latency")
+        hops_sel = ReplicaSelector(router, "hops")
+        asns = topology.asns()
+        disagreements = 0
+        for _ in range(60):
+            src = int(rng.choice(asns))
+            candidates = [int(a) for a in rng.choice(asns, size=5, replace=False)]
+            if latency_sel.order_candidates(src, candidates)[0] != (
+                hops_sel.order_candidates(src, candidates)[0]
+            ):
+                disagreements += 1
+        assert disagreements > 0

@@ -1,0 +1,69 @@
+"""Tests for the text reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import (
+    ascii_cdf,
+    format_cdf_table,
+    format_table,
+    percentile_row,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[1].startswith("----")
+        widths = {len(line) for line in lines}
+        assert len(widths) <= 2  # columns aligned
+
+    def test_handles_numbers(self):
+        text = format_table(["k"], [[1], [2.5]])
+        assert "2.5" in text
+
+
+class TestCdfTable:
+    def test_read_offs(self):
+        series = {"a": [1.0, 2.0, 3.0, 4.0], "b": [10.0, 20.0, 30.0, 40.0]}
+        text = format_cdf_table(series, thresholds=[2.5, 100.0])
+        assert "0.500" in text  # a below 2.5
+        assert "1.000" in text  # everything below 100
+        assert "a" in text and "b" in text
+
+    def test_strict_inequality(self):
+        text = format_cdf_table({"x": [5.0]}, thresholds=[5.0])
+        assert "0.000" in text
+
+
+class TestAsciiCdf:
+    def test_monotone_shape(self):
+        values = np.linspace(1, 100, 500)
+        plot = ascii_cdf(values, width=40, height=8, label="test")
+        lines = plot.splitlines()
+        assert lines[0] == "CDF test"
+        assert "x:" in lines[-1]
+        # One star per column, rows monotone non-increasing left→right.
+        grid = lines[1:-1]
+        star_rows = []
+        for col in range(40):
+            for row, line in enumerate(grid):
+                if col < len(line) and line[col] == "*":
+                    star_rows.append(row)
+                    break
+        assert star_rows == sorted(star_rows, reverse=True)
+
+    def test_linear_axis(self):
+        plot = ascii_cdf([1.0, 2.0, 3.0], log_x=False)
+        assert "(log)" not in plot
+
+
+class TestPercentileRow:
+    def test_values(self):
+        name, mean, median, p95 = percentile_row("row", [10.0, 20.0, 30.0])
+        assert name == "row"
+        assert mean == "20.0"
+        assert median == "20.0"
+        assert float(p95) == pytest.approx(np.percentile([10, 20, 30], 95), abs=0.05)

@@ -1,0 +1,251 @@
+"""Tests for the DMap resolver protocol (insert / update / lookup)."""
+
+import numpy as np
+import pytest
+
+from repro.core.guid import GUID, NetworkAddress
+from repro.core.resolver import (
+    DMapResolver,
+    OUTCOME_HIT,
+    OUTCOME_MISSING,
+    OUTCOME_TIMEOUT,
+)
+from repro.errors import ConfigurationError, LookupFailedError
+
+
+def locator(table, asn):
+    return table.representative_address(asn)
+
+
+@pytest.fixture
+def populated(resolver, base_table, asns, rng):
+    """Resolver with 30 hosts inserted; returns (resolver, host_map)."""
+    hosts = {}
+    for i in range(30):
+        guid = GUID.from_name(f"host-{i}")
+        home = int(rng.choice(asns))
+        resolver.insert(guid, [locator(base_table, home)], home)
+        hosts[guid] = home
+    return resolver, hosts
+
+
+class TestInsert:
+    def test_insert_places_k_replicas(self, resolver, base_table, asns):
+        guid = GUID.from_name("phone")
+        result = resolver.insert(guid, [locator(base_table, asns[0])], asns[0])
+        assert len(result.replica_set.global_replicas) == 5
+        for res in result.replica_set.global_replicas:
+            assert resolver.store_at(res.asn).get(guid) is not None
+
+    def test_update_latency_is_max_of_parallel_writes(
+        self, resolver, base_table, asns
+    ):
+        guid = GUID.from_name("phone")
+        result = resolver.insert(guid, [locator(base_table, asns[0])], asns[0])
+        assert result.rtt_ms == max(result.per_replica_rtt_ms)
+        assert len(result.per_replica_rtt_ms) == 5
+
+    def test_local_copy_written(self, resolver, base_table, asns):
+        guid = GUID.from_name("phone")
+        result = resolver.insert(guid, [locator(base_table, asns[3])], asns[3])
+        assert result.replica_set.local_asn == asns[3]
+        assert resolver.store_at(asns[3]).get(guid) is not None
+
+    def test_local_replica_disabled(self, base_table, router, asns):
+        resolver = DMapResolver(base_table, router, k=5, local_replica=False)
+        guid = GUID.from_name("phone")
+        result = resolver.insert(guid, [locator(base_table, asns[3])], asns[3])
+        assert result.replica_set.local_asn is None
+
+    def test_placement_is_stateless_derivable(self, resolver, base_table, asns):
+        guid = GUID.from_name("phone")
+        result = resolver.insert(guid, [locator(base_table, asns[0])], asns[0])
+        assert list(result.replica_set.global_asns) == resolver.placer.hosting_asns(
+            guid
+        )
+
+
+class TestLookup:
+    def test_lookup_finds_mapping(self, populated, asns, rng):
+        resolver, hosts = populated
+        guid = next(iter(hosts))
+        result = resolver.lookup(guid, int(rng.choice(asns)))
+        assert result.entry.guid == guid
+        assert result.rtt_ms > 0
+        assert result.attempts[-1].outcome == OUTCOME_HIT or result.used_local
+
+    def test_lookup_rtt_equals_router_rtt_to_chosen(self, populated, asns, rng):
+        resolver, hosts = populated
+        guid = next(iter(hosts))
+        src = int(rng.choice(asns))
+        result = resolver.lookup(guid, src)
+        if not result.used_local:
+            assert result.rtt_ms == pytest.approx(
+                resolver.router.rtt_ms(src, result.served_by)
+            )
+
+    def test_lookup_chooses_closest_replica(self, populated, asns, rng):
+        resolver, hosts = populated
+        guid = next(iter(hosts))
+        src = int(rng.choice(asns))
+        result = resolver.lookup(guid, src)
+        candidates = resolver.placer.hosting_asns(guid)
+        best = min(
+            set(candidates), key=lambda a: resolver.router.one_way_ms(src, a)
+        )
+        if not result.used_local:
+            assert resolver.router.one_way_ms(src, result.served_by) == pytest.approx(
+                resolver.router.one_way_ms(src, best)
+            )
+
+    def test_local_replica_wins_at_home(self, populated):
+        resolver, hosts = populated
+        guid, home = next(iter(hosts.items()))
+        candidates = set(resolver.placer.hosting_asns(guid))
+        if home in candidates:
+            pytest.skip("home AS happens to be a global replica")
+        result = resolver.lookup(guid, home)
+        # Local RTT is the intra-AS round trip — hard to beat from inside.
+        local_rtt = 2.0 * resolver.router.topology.intra_latency(home)
+        global_best = min(
+            resolver.router.rtt_ms(home, a) for a in candidates
+        )
+        if local_rtt < global_best:
+            assert result.used_local
+            assert result.rtt_ms == pytest.approx(local_rtt)
+
+    def test_missing_guid_fails(self, resolver, asns):
+        with pytest.raises(LookupFailedError):
+            resolver.lookup(GUID.from_name("never-inserted"), asns[0])
+
+    def test_probe_missing_forces_retry(self, populated, asns, rng):
+        resolver, hosts = populated
+        guid = next(iter(hosts))
+        src = int(rng.choice(asns))
+        ordered = resolver.selector.order_candidates(
+            src, resolver.placer.hosting_asns(guid)
+        )
+        first = ordered[0]
+
+        def probe(asn, g):
+            return OUTCOME_MISSING if asn == first else OUTCOME_HIT
+
+        clean = resolver.lookup(guid, src)
+        churned = resolver.lookup(guid, src, probe=probe)
+        if not churned.used_local and len(ordered) > 1:
+            # Paid a full round trip to the failed replica, then the next.
+            expected = resolver.router.rtt_ms(src, first) + resolver.router.rtt_ms(
+                src, ordered[1]
+            )
+            assert churned.rtt_ms == pytest.approx(expected)
+            assert churned.attempts[0].outcome == OUTCOME_MISSING
+        assert churned.rtt_ms >= clean.rtt_ms
+
+    def test_probe_timeout_costs_timeout(self, populated, asns, rng):
+        resolver, hosts = populated
+        guid = next(iter(hosts))
+        src = int(rng.choice(asns))
+        ordered = resolver.selector.order_candidates(
+            src, resolver.placer.hosting_asns(guid)
+        )
+        first = ordered[0]
+
+        def probe(asn, g):
+            return OUTCOME_TIMEOUT if asn == first else OUTCOME_HIT
+
+        result = resolver.lookup(guid, src, probe=probe)
+        if not result.used_local and len(ordered) > 1:
+            timeout = max(
+                resolver.timeout_ms, 2.0 * resolver.router.rtt_ms(src, first)
+            )
+            expected = timeout + resolver.router.rtt_ms(src, ordered[1])
+            assert result.rtt_ms == pytest.approx(expected)
+
+    def test_all_replicas_down_raises_with_elapsed(self, populated, asns):
+        resolver, hosts = populated
+        guid = next(iter(hosts))
+        src = [a for a in asns if a != hosts[guid]][0]
+
+        def probe(asn, g):
+            return OUTCOME_TIMEOUT
+
+        with pytest.raises(LookupFailedError) as exc_info:
+            resolver.lookup(guid, src, probe=probe)
+        unique = list(dict.fromkeys(resolver.placer.hosting_asns(guid)))
+        assert exc_info.value.attempts == len(unique)
+        expected = sum(
+            max(resolver.timeout_ms, 2.0 * resolver.router.rtt_ms(src, asn))
+            for asn in unique
+        )
+        assert exc_info.value.elapsed_ms == pytest.approx(expected)
+
+    def test_all_down_but_local_saves_it(self, populated):
+        resolver, hosts = populated
+        guid, home = next(iter(hosts.items()))
+
+        def probe(asn, g):
+            return OUTCOME_TIMEOUT
+
+        result = resolver.lookup(guid, home, probe=probe)
+        assert result.used_local
+
+    def test_unknown_probe_outcome_rejected(self, populated, asns):
+        resolver, hosts = populated
+        guid = next(iter(hosts))
+        with pytest.raises(ConfigurationError):
+            resolver.lookup(guid, asns[0], probe=lambda a, g: "garbled")
+
+
+class TestUpdate:
+    def test_update_bumps_version_everywhere(self, resolver, base_table, asns):
+        guid = GUID.from_name("mover")
+        resolver.insert(guid, [locator(base_table, asns[0])], asns[0])
+        resolver.update(guid, [locator(base_table, asns[1])], asns[1])
+        for asn in resolver.replica_sets[guid].all_asns:
+            assert resolver.store_at(asn).get(guid).version == 1
+
+    def test_update_moves_local_copy(self, resolver, base_table, asns):
+        guid = GUID.from_name("mover")
+        old, new = asns[0], asns[1]
+        resolver.insert(guid, [locator(base_table, old)], old)
+        resolver.update(guid, [locator(base_table, new)], new)
+        replicas = set(resolver.placer.hosting_asns(guid))
+        if old not in replicas:
+            assert resolver.store_at(old).get(guid) is None
+        assert resolver.store_at(new).get(guid) is not None
+
+    def test_lookup_after_move_returns_new_locator(
+        self, resolver, base_table, asns, rng
+    ):
+        guid = GUID.from_name("mover")
+        old, new = asns[0], asns[1]
+        resolver.insert(guid, [locator(base_table, old)], old)
+        resolver.update(guid, [locator(base_table, new)], new)
+        result = resolver.lookup(guid, int(rng.choice(asns)))
+        assert result.locators == (locator(base_table, new),)
+
+
+class TestDelete:
+    def test_delete_removes_all_copies(self, resolver, base_table, asns):
+        guid = GUID.from_name("gone")
+        resolver.insert(guid, [locator(base_table, asns[0])], asns[0])
+        removed = resolver.delete(guid)
+        assert removed >= 1
+        assert all(store.get(guid) is None for store in resolver.stores.values())
+        assert guid not in resolver.replica_sets
+
+    def test_delete_unknown_guid_stateless(self, resolver):
+        assert resolver.delete(GUID.from_name("never")) == 0
+
+
+class TestIntrospection:
+    def test_storage_load_counts(self, populated):
+        resolver, hosts = populated
+        load = resolver.storage_load()
+        assert sum(load.values()) == resolver.total_entries()
+        # 30 hosts × (≤5 global + ≤1 local) copies; dedup may reduce.
+        assert 30 <= resolver.total_entries() <= 30 * 6
+
+    def test_timeout_validation(self, base_table, router):
+        with pytest.raises(ConfigurationError):
+            DMapResolver(base_table, router, timeout_ms=0)

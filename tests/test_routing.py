@@ -1,0 +1,148 @@
+"""Tests for the shortest-path routing oracle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.topology.datasets import line_fixture, star_fixture
+from repro.topology.graph import ASInfo, ASTopology
+from repro.topology.routing import Router
+
+
+class TestLineFixture:
+    @pytest.fixture(scope="class")
+    def line_router(self):
+        # 1 - 2 - 3 - 4 - 5, links 10 ms, intra 1 ms.
+        return Router(line_fixture(n=5, link_ms=10.0, intra_ms=1.0))
+
+    def test_path_latency_exact(self, line_router):
+        assert line_router.path_latency_ms(1, 4) == pytest.approx(30.0)
+        assert line_router.path_latency_ms(2, 3) == pytest.approx(10.0)
+        assert line_router.path_latency_ms(3, 3) == 0.0
+
+    def test_hops_exact(self, line_router):
+        assert line_router.hops(1, 5) == 4
+        assert line_router.hops(2, 2) == 0
+
+    def test_one_way_includes_intra(self, line_router):
+        # intra(src) + path + intra(dst) = 1 + 30 + 1.
+        assert line_router.one_way_ms(1, 4) == pytest.approx(32.0)
+        # Same AS: intra only.
+        assert line_router.one_way_ms(3, 3) == pytest.approx(1.0)
+
+    def test_rtt_is_double(self, line_router):
+        assert line_router.rtt_ms(1, 4) == pytest.approx(64.0)
+
+    def test_one_way_to_many(self, line_router):
+        out = line_router.one_way_to_many(2, np.array([1, 2, 5]))
+        assert out.tolist() == pytest.approx([12.0, 1.0, 32.0])
+
+    def test_closest_of_by_latency(self, line_router):
+        asn, latency = line_router.closest_of(2, np.array([5, 1, 4]))
+        assert asn == 1
+        assert latency == pytest.approx(12.0)
+
+    def test_closest_of_by_hops(self, line_router):
+        asn, _latency = line_router.closest_of(2, np.array([5, 1, 4]), by="hops")
+        assert asn == 1
+
+    def test_closest_of_self_wins(self, line_router):
+        asn, latency = line_router.closest_of(3, np.array([1, 3, 5]))
+        assert asn == 3
+        assert latency == pytest.approx(1.0)
+
+    def test_closest_of_validation(self, line_router):
+        with pytest.raises(RoutingError):
+            line_router.closest_of(1, np.array([], dtype=np.int64))
+        with pytest.raises(RoutingError):
+            line_router.closest_of(1, np.array([2]), by="magic")
+
+
+class TestCaching:
+    def test_rows_are_cached(self):
+        router = Router(star_fixture(n_leaves=6))
+        router.latency_row(1)
+        runs = router.dijkstra_runs
+        router.latency_row(1)
+        router.rtt_ms(1, 3)
+        assert router.dijkstra_runs == runs
+
+    def test_lru_eviction(self):
+        router = Router(line_fixture(n=6), cache_size=2)
+        router.latency_row(1)
+        router.latency_row(2)
+        router.latency_row(3)  # evicts AS 1's row
+        runs = router.dijkstra_runs
+        router.latency_row(1)
+        assert router.dijkstra_runs == runs + 1
+
+    def test_cache_stats(self):
+        router = Router(line_fixture(n=4))
+        router.latency_row(1)
+        router.hop_row(2)
+        stats = router.cache_stats()
+        assert stats["latency_rows"] == 1
+        assert stats["hop_rows"] == 1
+        assert stats["dijkstra_runs"] == 2
+
+    def test_cache_size_validation(self):
+        with pytest.raises(RoutingError):
+            Router(line_fixture(n=3), cache_size=0)
+
+
+class TestUnreachable:
+    @pytest.fixture
+    def split_router(self):
+        topo = ASTopology()
+        for asn in (1, 2, 3, 4):
+            topo.add_as(ASInfo(asn, intra_latency_ms=1.0, endnodes=1))
+        topo.add_link(1, 2, 5.0)
+        topo.add_link(3, 4, 5.0)
+        return Router(topo)
+
+    def test_unreachable_raises(self, split_router):
+        with pytest.raises(RoutingError, match="unreachable"):
+            split_router.path_latency_ms(1, 3)
+        with pytest.raises(RoutingError):
+            split_router.hops(1, 4)
+        with pytest.raises(RoutingError):
+            split_router.one_way_ms(2, 3)
+
+
+class TestConsistency:
+    def test_latency_matches_hand_dijkstra(self, topology, router, rng):
+        # Spot-check the scipy path against a slow hand-rolled Dijkstra.
+        import heapq
+
+        asns = topology.asns()
+        src = int(rng.choice(asns))
+        dist = {src: 0.0}
+        heap = [(0.0, src)]
+        while heap:
+            d, node = heapq.heappop(heap)
+            if d > dist.get(node, float("inf")):
+                continue
+            for nbr in topology.neighbors(node):
+                nd = d + topology.link_latency(node, nbr)
+                if nd < dist.get(nbr, float("inf")):
+                    dist[nbr] = nd
+                    heapq.heappush(heap, (nd, nbr))
+        for dst in list(rng.choice(asns, size=10)):
+            dst = int(dst)
+            assert router.path_latency_ms(src, dst) == pytest.approx(
+                dist[dst], rel=1e-5
+            )
+
+    def test_symmetry(self, router, asns, rng):
+        for _ in range(10):
+            a, b = (int(x) for x in rng.choice(asns, size=2))
+            assert router.path_latency_ms(a, b) == pytest.approx(
+                router.path_latency_ms(b, a), rel=1e-5
+            )
+
+    def test_triangle_inequality(self, router, asns, rng):
+        for _ in range(10):
+            a, b, c = (int(x) for x in rng.choice(asns, size=3))
+            direct = router.path_latency_ms(a, c)
+            via = router.path_latency_ms(a, b) + router.path_latency_ms(b, c)
+            assert direct <= via + 1e-6

@@ -1,0 +1,119 @@
+"""Tests for the §V-C scenarios and the §IV-A overhead model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.overhead import OverheadModel, entry_size_bits
+from repro.analysis.scenarios import (
+    LONG_TERM_RATIOS,
+    MEDIUM_TERM_RATIOS,
+    PRESENT_DAY_RATIOS,
+    all_scenarios,
+    long_term_model,
+    medium_term_model,
+    present_day_model,
+)
+from repro.errors import ConfigurationError
+
+
+class TestScenarios:
+    def test_layer_counts_match_paper(self):
+        # Present: 8 layers; medium: 6; long: 4 (§V-C).
+        assert len(PRESENT_DAY_RATIOS) == 8
+        assert len(MEDIUM_TERM_RATIOS) == 6
+        assert len(LONG_TERM_RATIOS) == 4
+
+    def test_ratios_sum_to_one(self):
+        for ratios in (PRESENT_DAY_RATIOS, MEDIUM_TERM_RATIOS, LONG_TERM_RATIOS):
+            assert sum(ratios) == pytest.approx(1.0)
+
+    def test_present_day_mass_in_layers_3_4(self):
+        # "more than 60% of the nodes residing in layers 3 and 4".
+        assert PRESENT_DAY_RATIOS[3] + PRESENT_DAY_RATIOS[4] > 0.6
+
+    def test_flatter_scenarios_bound_lower(self):
+        # Fig. 7 ordering: present > medium > long at every K.
+        for k in (1, 2, 5, 10, 20):
+            present = present_day_model().bound_ms(k)
+            medium = medium_term_model().bound_ms(k)
+            long_term = long_term_model().bound_ms(k)
+            assert present > medium > long_term
+
+    def test_all_scenarios_ordering(self):
+        names = [m.name for m in all_scenarios()]
+        assert names[0].startswith("present")
+        assert names[-1].startswith("long")
+
+    def test_bounds_in_paper_range(self):
+        # Fig. 7's y-axis spans roughly 40-100 ms; the synthesized ratios
+        # must land the curves in that window.
+        for model in all_scenarios():
+            for k in range(1, 21):
+                assert 35.0 < model.bound_ms(k) < 105.0
+
+    def test_sensitivity_to_within_constraint_perturbation(self):
+        # Shape conclusions must survive small perturbations of the
+        # synthesized ratio vectors (they are not published exactly).
+        from repro.analysis.jellyfish_model import AnalyticalModel
+
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            noise = rng.uniform(0.9, 1.1, size=len(PRESENT_DAY_RATIOS))
+            perturbed = np.asarray(PRESENT_DAY_RATIOS) * noise
+            perturbed /= perturbed.sum()
+            model = AnalyticalModel("perturbed", tuple(perturbed))
+            curve = model.sweep(range(1, 21))
+            assert (np.diff(curve) <= 1e-9).all(), "still decreasing in K"
+            assert curve[0] - curve[4] > curve[9] - curve[19]
+
+
+class TestOverheadModel:
+    def test_entry_size(self):
+        assert entry_size_bits() == 352
+
+    def test_entry_size_parametric(self):
+        assert entry_size_bits(guid_bits=128, max_locators=2, locator_bits=64) == 288
+
+    def test_paper_storage_with_implied_as_count(self):
+        model = OverheadModel(n_as=50_900)
+        assert model.storage_per_as_mbits() == pytest.approx(173, rel=0.01)
+
+    def test_dimes_as_count_storage(self):
+        model = OverheadModel()  # 26,424 ASs
+        assert model.storage_per_as_mbits() == pytest.approx(333, rel=0.01)
+
+    def test_update_traffic_about_10_gbps(self):
+        assert OverheadModel().update_traffic_gbps() == pytest.approx(10.2, abs=0.1)
+
+    def test_traffic_is_minute_fraction(self):
+        assert OverheadModel().traffic_fraction_of_internet() < 1e-6
+
+    def test_report_keys(self):
+        report = OverheadModel().report()
+        for key in (
+            "entry_bits",
+            "storage_per_as_mbits",
+            "update_traffic_gbps",
+            "traffic_fraction_of_internet",
+        ):
+            assert key in report
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OverheadModel(k=0)
+        with pytest.raises(ConfigurationError):
+            OverheadModel(n_as=0)
+        with pytest.raises(ConfigurationError):
+            entry_size_bits(guid_bits=-1)
+        with pytest.raises(ConfigurationError):
+            OverheadModel().traffic_fraction_of_internet(0.0)
+
+    def test_scaling_linear_in_guids(self):
+        base = OverheadModel(n_guids=1e9)
+        doubled = OverheadModel(n_guids=2e9)
+        assert doubled.total_storage_bits() == pytest.approx(
+            2 * base.total_storage_bits()
+        )
+        assert doubled.update_traffic_gbps() == pytest.approx(
+            2 * base.update_traffic_gbps()
+        )

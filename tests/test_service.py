@@ -1,0 +1,99 @@
+"""Tests for the DMapNetwork façade."""
+
+import pytest
+
+from repro import DMapNetwork
+from repro.core.guid import GUID
+from repro.errors import ConfigurationError, DMapError, LookupFailedError
+
+
+@pytest.fixture(scope="module")
+def network():
+    return DMapNetwork.build(n_as=120, k=5, seed=3)
+
+
+class TestRegistration:
+    def test_register_and_lookup_by_name(self, network):
+        guid = network.register_host("test-phone")
+        result = network.lookup("test-phone")
+        assert result.entry.guid == guid
+        assert result.rtt_ms > 0
+
+    def test_register_at_specific_as(self, network):
+        asn = network.topology.asns()[5]
+        network.register_host("pinned-host", asn=asn)
+        assert network.host_location("pinned-host") == asn
+
+    def test_double_registration_rejected(self, network):
+        network.register_host("dup-host")
+        with pytest.raises(ConfigurationError):
+            network.register_host("dup-host")
+
+    def test_register_by_guid(self, network):
+        guid = GUID.from_name("raw-guid-host")
+        assert network.register_host(guid) == guid
+        assert network.lookup(guid).entry.guid == guid
+
+    def test_unknown_host_errors(self, network):
+        with pytest.raises(DMapError):
+            network.host_location("nobody")
+        with pytest.raises(LookupFailedError):
+            network.lookup("never-registered-name")
+
+
+class TestMobility:
+    def test_move_updates_binding(self, network):
+        network.register_host("mover-1")
+        before = network.host_location("mover-1")
+        network.move_host("mover-1")
+        after = network.host_location("mover-1")
+        assert after != before or after in network.topology.neighbors(before)
+        result = network.lookup("mover-1")
+        expected = network.table.representative_address(after)
+        assert result.locators == (expected,)
+
+    def test_move_to_specific_as(self, network):
+        network.register_host("mover-2")
+        target = network.topology.asns()[-1]
+        network.move_host("mover-2", to_asn=target)
+        assert network.host_location("mover-2") == target
+
+    def test_moves_counted(self, network):
+        network.register_host("mover-3")
+        for _ in range(3):
+            network.move_host("mover-3")
+        record = network._record("mover-3")
+        assert record.moves == 3
+
+    def test_clock_stamps_writes(self, network):
+        network.register_host("timed-host")
+        network.advance_time(5000.0)
+        network.move_host("timed-host")
+        assert network.lookup("timed-host").entry.timestamp == network.clock_ms
+        with pytest.raises(ConfigurationError):
+            network.advance_time(-1.0)
+
+
+class TestDeregistration:
+    def test_deregister_removes_everything(self, network):
+        network.register_host("goner")
+        removed = network.deregister_host("goner")
+        assert removed >= 1
+        with pytest.raises(DMapError):
+            network.host_location("goner")
+        with pytest.raises(LookupFailedError):
+            network.lookup("goner")
+
+
+class TestStats:
+    def test_stats_shape(self, network):
+        network.register_host("stat-host")
+        stats = network.stats()
+        assert stats["n_as"] == 120
+        assert stats["n_hosts"] >= 1
+        assert stats["replica_copies"] >= stats["n_hosts"]
+        assert 0 < stats["announcement_ratio"] < 1
+
+    def test_random_asn_is_valid(self, network):
+        for _ in range(20):
+            assert network.random_asn() in network.topology

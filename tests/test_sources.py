@@ -1,0 +1,63 @@
+"""Tests for population-weighted source sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.topology.graph import ASInfo, ASTopology
+from repro.workload.sources import SourceSampler
+
+
+def weighted_topology():
+    topo = ASTopology()
+    topo.add_as(ASInfo(1, endnodes=800))
+    topo.add_as(ASInfo(2, endnodes=150))
+    topo.add_as(ASInfo(3, endnodes=50))
+    topo.add_link(1, 2, 1.0)
+    topo.add_link(2, 3, 1.0)
+    return topo
+
+
+class TestSampler:
+    def test_probabilities_proportional_to_endnodes(self):
+        sampler = SourceSampler(weighted_topology())
+        assert sampler.probability_of(1) == pytest.approx(0.8)
+        assert sampler.probability_of(2) == pytest.approx(0.15)
+        assert sampler.probability_of(3) == pytest.approx(0.05)
+
+    def test_empirical_frequencies(self):
+        sampler = SourceSampler(weighted_topology(), np.random.default_rng(0))
+        draws = sampler.sample(50_000)
+        freq = {asn: (draws == asn).mean() for asn in (1, 2, 3)}
+        assert freq[1] == pytest.approx(0.8, abs=0.01)
+        assert freq[2] == pytest.approx(0.15, abs=0.01)
+        assert freq[3] == pytest.approx(0.05, abs=0.01)
+
+    def test_sample_one(self):
+        sampler = SourceSampler(weighted_topology(), np.random.default_rng(0))
+        assert sampler.sample_one() in (1, 2, 3)
+
+    def test_deterministic(self):
+        a = SourceSampler(weighted_topology(), np.random.default_rng(5)).sample(20)
+        b = SourceSampler(weighted_topology(), np.random.default_rng(5)).sample(20)
+        assert (a == b).all()
+
+    def test_negative_size_rejected(self):
+        sampler = SourceSampler(weighted_topology())
+        with pytest.raises(WorkloadError):
+            sampler.sample(-1)
+
+    def test_zero_population_rejected(self):
+        topo = ASTopology()
+        topo.add_as(ASInfo(1, endnodes=0))
+        with pytest.raises(WorkloadError):
+            SourceSampler(topo)
+
+    def test_generated_topology_bias(self, topology):
+        # On the generated graph, populous ASs must dominate the samples.
+        sampler = SourceSampler(topology, np.random.default_rng(2))
+        draws = sampler.sample(20_000)
+        populations = topology.endnode_counts()
+        top_as = max(populations, key=populations.get)
+        expected = populations[top_as] / sum(populations.values())
+        assert (draws == top_as).mean() == pytest.approx(expected, abs=0.02)

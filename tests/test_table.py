@@ -1,0 +1,104 @@
+"""Unit tests for the global BGP prefix table."""
+
+import pytest
+
+from repro.bgp.prefix import Announcement, Prefix
+from repro.bgp.table import GlobalPrefixTable
+from repro.core.guid import NetworkAddress
+from repro.errors import PrefixTableError
+
+
+def ann(cidr: str, asn: int) -> Announcement:
+    return Announcement(Prefix.from_cidr(cidr), asn)
+
+
+@pytest.fixture
+def small_table():
+    return GlobalPrefixTable(
+        [
+            ann("10.0.0.0/8", 1),
+            ann("10.5.0.0/16", 2),
+            ann("67.10.0.0/16", 55),
+            ann("44.0.0.0/8", 101),
+        ]
+    )
+
+
+class TestMutation:
+    def test_announce_and_contains(self, small_table):
+        assert Prefix.from_cidr("10.0.0.0/8") in small_table
+        assert len(small_table) == 4
+
+    def test_withdraw(self, small_table):
+        removed = small_table.withdraw(Prefix.from_cidr("44.0.0.0/8"))
+        assert removed.asn == 101
+        assert len(small_table) == 3
+        assert small_table.prefixes_of(101) == []
+
+    def test_withdraw_unknown_raises(self, small_table):
+        with pytest.raises(PrefixTableError):
+            small_table.withdraw(Prefix.from_cidr("99.0.0.0/8"))
+
+    def test_reannounce_moves_origin(self, small_table):
+        small_table.announce(ann("44.0.0.0/8", 7))
+        assert small_table.owner_asn(Prefix.from_cidr("44.1.0.0/16").base) == 7
+        assert small_table.prefixes_of(101) == []
+        assert 101 not in small_table.asns()
+
+
+class TestQueries:
+    def test_lpm_most_specific(self, small_table):
+        assert small_table.owner_asn(Prefix.from_cidr("10.5.1.0/24").base) == 2
+        assert small_table.owner_asn(Prefix.from_cidr("10.6.0.0/16").base) == 1
+
+    def test_hole_is_none(self, small_table):
+        assert small_table.resolve(0) is None
+        assert small_table.owner_asn(0) is None
+
+    def test_nearest(self, small_table):
+        found, dist = small_table.nearest(Prefix.from_cidr("10.4.0.0/16").base)
+        assert found.asn in (1, 2)
+        assert dist == 0  # inside 10/8
+
+    def test_prefixes_of_sorted(self, small_table):
+        small_table.announce(ann("9.0.0.0/8", 1))
+        prefixes = small_table.prefixes_of(1)
+        assert prefixes == sorted(prefixes)
+        assert len(prefixes) == 2
+
+    def test_asns(self, small_table):
+        assert small_table.asns() == [1, 2, 55, 101]
+
+    def test_announcement_ratio_counts_overlap_once(self, small_table):
+        # 10/8 (includes 10.5/16) + 67.10/16 + 44/8 = 2*2^24 + 2^16.
+        expected = (2 * (1 << 24) + (1 << 16)) / (1 << 32)
+        assert small_table.announcement_ratio() == pytest.approx(expected)
+
+    def test_representative_address(self, small_table):
+        na = small_table.representative_address(55)
+        assert isinstance(na, NetworkAddress)
+        assert small_table.owner_asn(na) == 55
+
+    def test_representative_address_unknown_as(self, small_table):
+        with pytest.raises(PrefixTableError):
+            small_table.representative_address(999)
+
+    def test_iteration(self, small_table):
+        assert {a.asn for a in small_table} == {1, 2, 55, 101}
+
+
+class TestCopy:
+    def test_copy_is_independent(self, small_table):
+        clone = small_table.copy()
+        clone.withdraw(Prefix.from_cidr("44.0.0.0/8"))
+        assert Prefix.from_cidr("44.0.0.0/8") in small_table
+        assert Prefix.from_cidr("44.0.0.0/8") not in clone
+
+    def test_interval_index_snapshot(self, small_table):
+        idx = small_table.build_interval_index()
+        assert idx.announced_fraction() == pytest.approx(
+            small_table.announcement_ratio()
+        )
+        # Snapshot does not follow later withdrawals.
+        small_table.withdraw(Prefix.from_cidr("44.0.0.0/8"))
+        assert idx.lookup_one(Prefix.from_cidr("44.1.0.0/16").base) == 101

@@ -1,0 +1,101 @@
+"""Reproduces the paper's tail-provenance finding (§IV-B.2a).
+
+"This long tail arises from a few queries originating from those ASs with
+unusually long intra-AS response times ... the 18 queries with the longest
+response times all originated from AS 23951, a small AS registered in
+Indonesia with a one-way latency of more than 2.3 seconds."
+
+We plant a known fraction of pathological stub ASs, run the full
+simulation, and verify the response-time tail is attributable to exactly
+those ASs — i.e. replication cannot fix a slow *source*, only a slow
+*destination*.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bgp.allocation import AllocationConfig, generate_global_prefix_table
+from repro.topology.generator import TopologyConfig, generate_internet_topology
+from repro.topology.latency import LatencyModel
+from repro.topology.routing import Router
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+from repro.sim.simulation import DMapSimulation
+
+#: One-way latency above which an AS counts as pathological (ms).
+OUTLIER_THRESHOLD_MS = 150.0
+
+
+@pytest.fixture(scope="module")
+def outlier_world():
+    config = TopologyConfig(
+        n_as=250,
+        total_endnodes=250_000,
+        latency=LatencyModel(outlier_fraction=0.05),  # plant ~5% slow stubs
+    )
+    topology = generate_internet_topology(config, seed=21)
+    table = generate_global_prefix_table(
+        topology.asns(), AllocationConfig(prefixes_per_as=5), seed=21
+    )
+    router = Router(topology)
+    sim = DMapSimulation(topology, table, k=5, router=router, seed=21)
+    workload = WorkloadGenerator(
+        topology, WorkloadConfig(n_guids=300, n_lookups=4000, seed=21)
+    ).generate()
+    workload.apply_to_simulation(sim, table)
+    sim.run()
+    return topology, sim
+
+
+def outlier_asns(topology):
+    return {
+        asn
+        for asn in topology.asns()
+        if topology.intra_latency(asn) > OUTLIER_THRESHOLD_MS
+    }
+
+
+class TestTailProvenance:
+    def test_outliers_exist(self, outlier_world):
+        topology, _sim = outlier_world
+        assert len(outlier_asns(topology)) >= 3
+
+    def test_worst_queries_originate_from_outlier_ases(self, outlier_world):
+        topology, sim = outlier_world
+        slow = outlier_asns(topology)
+        records = sorted(sim.metrics.records, key=lambda r: r.rtt_ms, reverse=True)
+        # Queries *from* a pathological AS cannot be saved by replication:
+        # every one of the very worst queries that exceeds the outlier
+        # threshold twice over must have a slow source (nothing else in
+        # this world can add seconds).
+        extreme = [r for r in records if r.rtt_ms > 2 * OUTLIER_THRESHOLD_MS]
+        assert extreme, "expected some extreme-tail queries"
+        blamed = sum(1 for r in extreme if r.source_asn in slow)
+        assert blamed / len(extreme) > 0.9
+
+    def test_median_unaffected_by_outliers(self, outlier_world):
+        topology, sim = outlier_world
+        slow = outlier_asns(topology)
+        clean_rtts = [
+            r.rtt_ms for r in sim.metrics.records if r.source_asn not in slow
+        ]
+        all_rtts = [r.rtt_ms for r in sim.metrics.records]
+        # The bulk of the distribution is not moved by the planted tail.
+        assert np.median(all_rtts) == pytest.approx(
+            np.median(clean_rtts), rel=0.1
+        )
+
+    def test_replication_does_not_rescue_slow_sources(self, outlier_world):
+        topology, sim = outlier_world
+        slow = outlier_asns(topology)
+        from_slow = [
+            r.rtt_ms for r in sim.metrics.records if r.source_asn in slow
+        ]
+        if not from_slow:
+            pytest.skip("no query happened to originate from a planted outlier")
+        # Each such query pays at least its own intra-AS round trip.
+        for rtt, record in zip(
+            from_slow,
+            (r for r in sim.metrics.records if r.source_asn in slow),
+        ):
+            floor = 2.0 * topology.intra_latency(record.source_asn)
+            assert rtt >= floor - 1e-6

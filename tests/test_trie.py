@@ -1,0 +1,167 @@
+"""Unit and property tests for the prefix trie (LPM + nearest prefix)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp.prefix import Announcement, Prefix
+from repro.bgp.trie import PrefixTrie
+from repro.errors import AddressError, EmptyPrefixTableError
+
+
+def ann(cidr: str, asn: int) -> Announcement:
+    return Announcement(Prefix.from_cidr(cidr), asn)
+
+
+def small_ann(base: int, length: int, asn: int, bits: int = 8) -> Announcement:
+    span = 1 << (bits - length)
+    return Announcement(Prefix(base & ~(span - 1) & ((1 << bits) - 1), length, bits), asn)
+
+
+@st.composite
+def announcement_sets(draw, bits=8, max_count=12):
+    """Random sets of (possibly overlapping) announcements in an 8-bit space,
+    at most one announcement per distinct prefix."""
+    count = draw(st.integers(min_value=1, max_value=max_count))
+    seen = {}
+    for i in range(count):
+        length = draw(st.integers(min_value=0, max_value=bits))
+        base = draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        a = small_ann(base, length, asn=i + 1, bits=bits)
+        seen[a.prefix] = a
+    return list(seen.values())
+
+
+def naive_lpm(announcements, address):
+    best = None
+    for a in announcements:
+        if a.prefix.contains(address):
+            if best is None or a.prefix.length > best.prefix.length:
+                best = a
+    return best
+
+
+class TestInsertWithdraw:
+    def test_insert_and_exact_match(self):
+        trie = PrefixTrie()
+        a = ann("10.0.0.0/8", 1)
+        assert trie.insert(a) is None
+        assert trie.exact_match(a.prefix) == a
+        assert len(trie) == 1
+
+    def test_reinsert_replaces_and_reports(self):
+        trie = PrefixTrie()
+        trie.insert(ann("10.0.0.0/8", 1))
+        replaced = trie.insert(ann("10.0.0.0/8", 2))
+        assert replaced.asn == 1
+        assert len(trie) == 1
+        assert trie.exact_match(Prefix.from_cidr("10.0.0.0/8")).asn == 2
+
+    def test_withdraw(self):
+        trie = PrefixTrie()
+        trie.insert(ann("10.0.0.0/8", 1))
+        removed = trie.withdraw(Prefix.from_cidr("10.0.0.0/8"))
+        assert removed.asn == 1
+        assert len(trie) == 0
+        assert trie.withdraw(Prefix.from_cidr("10.0.0.0/8")) is None
+
+    def test_withdraw_keeps_more_specifics(self):
+        trie = PrefixTrie()
+        trie.insert(ann("10.0.0.0/8", 1))
+        trie.insert(ann("10.5.0.0/16", 2))
+        trie.withdraw(Prefix.from_cidr("10.0.0.0/8"))
+        addr = Prefix.from_cidr("10.5.1.0/24").base
+        assert trie.longest_prefix_match(addr).asn == 2
+
+    def test_width_mismatch_rejected(self):
+        trie = PrefixTrie(bits=8)
+        with pytest.raises(AddressError):
+            trie.insert(ann("10.0.0.0/8", 1))
+
+    def test_iteration_yields_all(self):
+        trie = PrefixTrie()
+        for cidr, asn in [("10.0.0.0/8", 1), ("10.5.0.0/16", 2), ("11.0.0.0/8", 3)]:
+            trie.insert(ann(cidr, asn))
+        assert {a.asn for a in trie} == {1, 2, 3}
+
+
+class TestLongestPrefixMatch:
+    def test_most_specific_wins(self):
+        trie = PrefixTrie()
+        trie.insert(ann("10.0.0.0/8", 1))
+        trie.insert(ann("10.5.0.0/16", 2))
+        assert trie.longest_prefix_match(Prefix.from_cidr("10.5.7.0/24").base).asn == 2
+        assert trie.longest_prefix_match(Prefix.from_cidr("10.6.0.0/16").base).asn == 1
+
+    def test_hole_returns_none(self):
+        trie = PrefixTrie()
+        trie.insert(ann("10.0.0.0/8", 1))
+        assert trie.longest_prefix_match(0) is None
+
+    def test_default_route(self):
+        trie = PrefixTrie()
+        trie.insert(Announcement(Prefix(0, 0), 99))
+        assert trie.longest_prefix_match(12345).asn == 99
+
+    def test_out_of_range_address(self):
+        with pytest.raises(AddressError):
+            PrefixTrie(bits=8).longest_prefix_match(256)
+
+    @given(announcement_sets(), st.integers(min_value=0, max_value=255))
+    def test_agrees_with_naive(self, announcements, address):
+        trie = PrefixTrie(bits=8)
+        for a in announcements:
+            trie.insert(a)
+        expected = naive_lpm(announcements, address)
+        got = trie.longest_prefix_match(address)
+        if expected is None:
+            assert got is None
+        else:
+            assert got.prefix == expected.prefix
+
+
+class TestNearestPrefix:
+    def test_empty_raises(self):
+        with pytest.raises(EmptyPrefixTableError):
+            PrefixTrie().nearest_prefix(0)
+
+    def test_covered_address_distance_zero(self):
+        trie = PrefixTrie()
+        trie.insert(ann("10.0.0.0/8", 1))
+        found, dist = trie.nearest_prefix(Prefix.from_cidr("10.1.0.0/16").base)
+        assert found.asn == 1 and dist == 0
+
+    @given(announcement_sets(), st.integers(min_value=0, max_value=255))
+    @settings(max_examples=200)
+    def test_agrees_with_brute_force(self, announcements, address):
+        trie = PrefixTrie(bits=8)
+        for a in announcements:
+            trie.insert(a)
+        _found, dist = trie.nearest_prefix(address)
+        brute = min(a.prefix.xor_distance_to(address) for a in announcements)
+        assert dist == brute
+
+
+class TestAnnouncedSpan:
+    def test_disjoint(self):
+        trie = PrefixTrie(bits=8)
+        trie.insert(small_ann(0, 2, 1))  # 64 addresses
+        trie.insert(small_ann(128, 2, 2))  # 64 addresses
+        assert trie.announced_span() == 128
+
+    def test_overlap_counted_once(self):
+        trie = PrefixTrie(bits=8)
+        trie.insert(small_ann(0, 2, 1))  # covers 0-63
+        trie.insert(small_ann(0, 4, 2))  # covers 0-15 inside it
+        assert trie.announced_span() == 64
+
+    @given(announcement_sets())
+    def test_matches_brute_force(self, announcements):
+        trie = PrefixTrie(bits=8)
+        for a in announcements:
+            trie.insert(a)
+        brute = sum(
+            1
+            for addr in range(256)
+            if any(a.prefix.contains(addr) for a in announcements)
+        )
+        assert trie.announced_span() == brute

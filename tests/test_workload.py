@@ -1,0 +1,136 @@
+"""Tests for the workload generator and event streams."""
+
+import numpy as np
+import pytest
+
+from repro.core.resolver import DMapResolver, OUTCOME_MISSING
+from repro.errors import WorkloadError
+from repro.workload.generator import (
+    EventKind,
+    WorkloadConfig,
+    WorkloadGenerator,
+)
+
+
+@pytest.fixture
+def small_workload(topology):
+    cfg = WorkloadConfig(n_guids=50, n_lookups=300, seed=3)
+    return WorkloadGenerator(topology, cfg).generate()
+
+
+class TestGeneration:
+    def test_event_counts(self, small_workload):
+        inserts = [e for e in small_workload.events if e.kind is EventKind.INSERT]
+        lookups = [e for e in small_workload.events if e.kind is EventKind.LOOKUP]
+        assert len(inserts) == 50
+        assert len(lookups) == 300
+
+    def test_events_time_sorted(self, small_workload):
+        times = [e.time_ms for e in small_workload.events]
+        assert times == sorted(times)
+
+    def test_insert_phase_precedes_lookups(self, small_workload):
+        last_insert = max(
+            e.time_ms for e in small_workload.events if e.kind is EventKind.INSERT
+        )
+        first_lookup = min(
+            e.time_ms for e in small_workload.events if e.kind is EventKind.LOOKUP
+        )
+        assert last_insert < first_lookup
+
+    def test_lookups_target_inserted_guids(self, small_workload):
+        guids = set(small_workload.home_asn)
+        for event in small_workload.events:
+            assert event.guid in guids
+
+    def test_popular_ranks_queried_more(self, topology):
+        cfg = WorkloadConfig(n_guids=200, n_lookups=5000, seed=1)
+        workload = WorkloadGenerator(topology, cfg).generate()
+        guids = workload.guids
+        counts = {g: 0 for g in guids}
+        for event in workload.events:
+            if event.kind is EventKind.LOOKUP:
+                counts[event.guid] += 1
+        top_half = sum(counts[g] for g in guids[:100])
+        bottom_half = sum(counts[g] for g in guids[100:])
+        assert top_half > bottom_half
+
+    def test_sources_in_topology(self, small_workload, topology):
+        for event in small_workload.events:
+            assert event.source_asn in topology
+
+    def test_deterministic(self, topology):
+        cfg = WorkloadConfig(n_guids=30, n_lookups=100, seed=9)
+        a = WorkloadGenerator(topology, cfg).generate()
+        b = WorkloadGenerator(topology, cfg).generate()
+        assert a.events == b.events
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(n_guids=0).validate()
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(n_lookups=-1).validate()
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(insert_window_ms=-1).validate()
+
+    def test_zero_lookups_allowed(self, topology):
+        cfg = WorkloadConfig(n_guids=10, n_lookups=0, seed=0)
+        workload = WorkloadGenerator(topology, cfg).generate()
+        assert all(e.kind is EventKind.INSERT for e in workload.events)
+
+
+class TestExecution:
+    def test_run_through_resolver(self, small_workload, base_table, router):
+        resolver = DMapResolver(base_table, router, k=3)
+        rtts = small_workload.run_through_resolver(resolver, base_table)
+        assert len(rtts) == 300
+        assert all(r > 0 for r in rtts)
+
+    def test_locator_matches_home(self, small_workload, base_table):
+        guid = next(iter(small_workload.home_asn))
+        locator = small_workload.locator_for(guid, base_table)
+        assert base_table.owner_asn(locator) == small_workload.home_asn[guid]
+
+    def test_retry_on_total_failure(self, small_workload, base_table, router):
+        # A probe that fails everything a bounded number of times: each
+        # failed round's time must be carried into the final RTT.
+        resolver = DMapResolver(base_table, router, k=2)
+        calls = {"n": 0}
+
+        def flaky(asn, guid):
+            calls["n"] += 1
+            return OUTCOME_MISSING if calls["n"] <= 2 else "hit"
+
+        single = [e for e in small_workload.events if e.kind is not EventKind.LOOKUP]
+        from repro.workload.generator import Workload
+
+        one_lookup = [e for e in small_workload.events if e.kind is EventKind.LOOKUP][:1]
+        tiny = Workload(
+            small_workload.config,
+            small_workload.home_asn,
+            single + one_lookup,
+        )
+        rtts_flaky = tiny.run_through_resolver(resolver, base_table, probe=flaky)
+        calls["n"] = 0
+        rtts_clean = tiny.run_through_resolver(resolver, base_table, probe=None)
+        assert rtts_flaky[0] >= rtts_clean[0]
+
+    def test_retry_gives_up_eventually(self, small_workload, base_table, router):
+        resolver = DMapResolver(base_table, router, k=2, local_replica=False)
+
+        def always_missing(asn, guid):
+            return OUTCOME_MISSING
+
+        with pytest.raises(WorkloadError, match="kept failing"):
+            small_workload.run_through_resolver(
+                resolver, base_table, probe=always_missing, max_retry_rounds=3
+            )
+
+    def test_apply_to_simulation(self, small_workload, topology, base_table, router):
+        from repro.sim.simulation import DMapSimulation
+
+        sim = DMapSimulation(topology, base_table, k=3, router=router, seed=1)
+        small_workload.apply_to_simulation(sim, base_table)
+        sim.run()
+        assert len(sim.metrics.records) == 300
+        assert len(sim.insert_records) == 50
