@@ -51,7 +51,14 @@ class _PendingInsert:
 
     __slots__ = ("guid", "source_asn", "issued_at", "outstanding", "simulation")
 
-    def __init__(self, simulation, guid, source_asn, issued_at, outstanding):
+    def __init__(
+        self,
+        simulation: "DMapSimulation",
+        guid: GUID,
+        source_asn: int,
+        issued_at: float,
+        outstanding: int,
+    ) -> None:
         self.simulation = simulation
         self.guid = guid
         self.source_asn = source_asn
@@ -88,7 +95,14 @@ class _PendingLookup:
         "local_pending",
     )
 
-    def __init__(self, simulation, guid, source_asn, issued_at, candidates):
+    def __init__(
+        self,
+        simulation: "DMapSimulation",
+        guid: GUID,
+        source_asn: int,
+        issued_at: float,
+        candidates: List[int],
+    ) -> None:
         self.simulation = simulation
         self.guid = guid
         self.source_asn = source_asn

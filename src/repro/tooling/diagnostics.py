@@ -1,0 +1,101 @@
+"""Diagnostic records and lint reports.
+
+A :class:`Diagnostic` is one finding at one source location; a
+:class:`LintReport` is the aggregate of a lint run over many files.  Both
+serialize to plain dicts so the CLI can emit a stable JSON schema
+(``JSON_SCHEMA_VERSION`` bumps on any breaking change to the layout).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+JSON_SCHEMA_VERSION = 1
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; only :attr:`ERROR` fails the build."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, pinned to a file/line/column."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def format_human(self) -> str:
+        """``path:line:col: RULE [severity] message`` — editor-clickable."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintReport:
+    """Aggregate outcome of linting a set of files."""
+
+    files_checked: int = 0
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    suppressed_count: int = 0
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warning_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is Severity.WARNING)
+
+    def ok(self, fail_on_warning: bool = False) -> bool:
+        """True when the run should exit 0."""
+        if fail_on_warning:
+            return not self.diagnostics
+        return self.error_count == 0
+
+    def extend(self, diagnostics: List[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def finalize(self) -> "LintReport":
+        """Sort diagnostics into a deterministic report order."""
+        self.diagnostics.sort(key=Diagnostic.sort_key)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "tool": "repro-lint",
+            "files_checked": self.files_checked,
+            "summary": {
+                "errors": self.error_count,
+                "warnings": self.warning_count,
+                "suppressed": self.suppressed_count,
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }

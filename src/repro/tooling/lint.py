@@ -1,0 +1,129 @@
+"""CLI for the repro lint engine.
+
+Usage::
+
+    python -m repro.tooling.lint src/repro
+    python -m repro.tooling.lint --format json src/repro
+    python -m repro.tooling.lint --list-rules
+    python -m repro.tooling.lint --select DET001,DET005 src/repro
+
+Exit codes: 0 clean, 1 diagnostics found, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .diagnostics import LintReport
+from .engine import lint_paths
+from .registry import all_rules, resolve_rules
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
+
+def _split_ids(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [token.strip() for token in raw.split(",") if token.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tooling.lint",
+        description=(
+            "AST-based determinism and API-hygiene linter for the DMap "
+            "reproduction (stdlib-only; see repro.tooling)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--fail-on-warning",
+        action="store_true",
+        help="exit non-zero on warnings as well as errors",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _print_rule_listing() -> None:
+    for rule in all_rules():
+        scope = ", ".join(rule.packages) if rule.packages else "all packages"
+        print(f"{rule.rule_id}  [{rule.severity}]  {rule.summary}  ({scope})")
+
+
+def _print_human(report: LintReport, fail_on_warning: bool) -> None:
+    for diagnostic in report.diagnostics:
+        print(diagnostic.format_human())
+    status = "ok" if report.ok(fail_on_warning) else "FAILED"
+    print(
+        f"repro-lint: {status} — {report.files_checked} files, "
+        f"{report.error_count} errors, {report.warning_count} warnings, "
+        f"{report.suppressed_count} suppressed"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    if options.list_rules:
+        _print_rule_listing()
+        return EXIT_CLEAN
+    try:
+        rules = resolve_rules(
+            select=_split_ids(options.select), ignore=_split_ids(options.ignore)
+        )
+    except KeyError as exc:
+        print(f"repro-lint: {exc.args[0]}", file=sys.stderr)
+        return EXIT_USAGE
+    if not rules:
+        print(
+            "repro-lint: --select/--ignore left no rules to run",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    try:
+        report = lint_paths(options.paths, rules=rules)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if options.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        _print_human(report, options.fail_on_warning)
+    return (
+        EXIT_CLEAN if report.ok(options.fail_on_warning) else EXIT_VIOLATIONS
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Built-in lint rules.
+
+Importing this package registers every rule with
+:mod:`repro.tooling.registry`.  Rule ids are grouped by family:
+
+* ``DET0xx`` — determinism (seeded-RNG discipline, wall-clock bans,
+  iteration-order hazards);
+* ``HYG0xx`` — API hygiene (mutable defaults, float equality, bare
+  except, ``__all__`` honesty, return annotations).
+"""
+
+from . import determinism, hygiene
+
+__all__ = ["determinism", "hygiene"]

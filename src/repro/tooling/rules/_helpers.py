@@ -1,0 +1,105 @@
+"""Shared AST helpers for rule implementations.
+
+The central utility is canonical call-target resolution: imports are
+folded into a binding map (``np`` -> ``numpy``, ``dt`` ->
+``datetime.datetime``), and attribute chains on those bindings resolve
+to dotted canonical names (``np.random.seed`` ->
+``numpy.random.seed``).  This keeps rules alias-proof without a full
+type checker.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+def collect_import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local binding name -> canonical dotted import path.
+
+    ``import numpy as np``            -> ``{"np": "numpy"}``
+    ``import numpy.random``           -> ``{"numpy": "numpy"}``
+    ``from numpy.random import rand`` -> ``{"rand": "numpy.random.rand"}``
+    Relative imports are skipped (their canonical path is ambiguous).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    # "import a.b" binds only the top-level name "a".
+                    top = alias.name.split(".")[0]
+                    aliases[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or not node.module:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                aliases[bound] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def attribute_chain(node: ast.expr) -> Optional[List[str]]:
+    """Flatten ``a.b.c`` into ``["a", "b", "c"]``; None for non-chains."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return parts[::-1]
+
+
+def resolve_name(node: ast.expr, aliases: Dict[str, str]) -> Optional[str]:
+    """Canonical dotted name of an expression, resolving import aliases."""
+    chain = attribute_chain(node)
+    if chain is None:
+        return None
+    base, rest = chain[0], chain[1:]
+    canonical_base = aliases.get(base)
+    if canonical_base is None:
+        return None
+    return ".".join([canonical_base] + rest)
+
+
+def iter_calls(
+    tree: ast.Module, aliases: Dict[str, str]
+) -> Iterator[Tuple[ast.Call, Optional[str]]]:
+    """Yield every call with its resolved canonical target (or None)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node, resolve_name(node.func, aliases)
+
+
+def iter_statements_outside_functions(
+    tree: ast.Module,
+) -> Iterator[ast.stmt]:
+    """Module-level statements, descending into if/try/with/for blocks
+    but never into function or class bodies."""
+    stack: List[ast.stmt] = list(tree.body)
+    while stack:
+        node = stack.pop(0)
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        for child_field in ("body", "orelse", "finalbody"):
+            stack.extend(getattr(node, child_field, []) or [])
+        for handler in getattr(node, "handlers", []) or []:
+            stack.extend(handler.body)
+
+
+def is_float_constant(node: ast.expr) -> bool:
+    """True for a literal float (including negated, e.g. ``-0.5``)."""
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)

@@ -1,0 +1,70 @@
+"""Inline suppression comments.
+
+Two forms, mirroring the familiar ``# noqa`` / ``# pylint: disable``
+conventions but namespaced to this linter:
+
+* ``# lint: disable=DET001`` on a line suppresses the named rule(s) for
+  findings reported **on that line** (comma-separated ids, or ``all``);
+* ``# lint: disable-file=HYG004`` anywhere in a file suppresses the
+  named rule(s) for the **whole file**.
+
+Suppressions are matched by the line the diagnostic points at, so a
+multi-line statement must carry the comment on the line the rule
+reports (the statement's first line for every built-in rule).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set
+
+from .diagnostics import Diagnostic
+
+_LINE_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\- ]+)")
+_FILE_RE = re.compile(r"#\s*lint:\s*disable-file=([A-Za-z0-9_,\- ]+)")
+
+ALL = "all"
+
+
+def _parse_ids(raw: str) -> FrozenSet[str]:
+    return frozenset(
+        token.strip() for token in raw.split(",") if token.strip()
+    )
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-file map of suppressed rule ids, by line and file-wide."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    file_wide: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        index = cls()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            if "#" not in line:
+                continue
+            file_match = _FILE_RE.search(line)
+            if file_match:
+                index.file_wide.update(_parse_ids(file_match.group(1)))
+                continue
+            line_match = _LINE_RE.search(line)
+            if line_match:
+                index.by_line.setdefault(lineno, set()).update(
+                    _parse_ids(line_match.group(1))
+                )
+        return index
+
+    def is_suppressed(self, diagnostic: Diagnostic) -> bool:
+        if ALL in self.file_wide or diagnostic.rule_id in self.file_wide:
+            return True
+        line_ids = self.by_line.get(diagnostic.line)
+        if not line_ids:
+            return False
+        return ALL in line_ids or diagnostic.rule_id in line_ids
+
+    def apply(self, diagnostics: List[Diagnostic]) -> List[Diagnostic]:
+        """Filter out suppressed diagnostics (kept order)."""
+        return [d for d in diagnostics if not self.is_suppressed(d)]

@@ -1,0 +1,7 @@
+"""DET001 positive fixture: stdlib random imports."""
+
+import random
+from random import choice
+
+value = random.random()
+pick = choice([1, 2, 3])

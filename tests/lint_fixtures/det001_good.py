@@ -1,0 +1,7 @@
+"""DET001 negative fixture: randomness threaded as a Generator."""
+
+import numpy as np
+
+
+def draw(rng: np.random.Generator) -> float:
+    return float(rng.random())

@@ -1,0 +1,8 @@
+"""DET002 positive fixture: legacy np.random global-state API."""
+
+import numpy as np
+from numpy.random import rand
+
+np.random.seed(42)
+noise = np.random.normal(0.0, 1.0, size=8)
+uniform = rand(4)

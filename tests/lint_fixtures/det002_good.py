@@ -1,0 +1,11 @@
+"""DET002 negative fixture: the seeded Generator API is allowed."""
+
+import numpy as np
+from numpy.random import Generator, SeedSequence, default_rng
+
+rng = np.random.default_rng(42)
+child = default_rng(SeedSequence(7))
+
+
+def draw(generator: Generator) -> float:
+    return float(generator.normal())

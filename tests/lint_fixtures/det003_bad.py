@@ -1,0 +1,9 @@
+"""DET003 positive fixture: wall-clock reads."""
+
+import time
+from datetime import date, datetime
+
+started = time.time()
+nanos = time.time_ns()
+stamp = datetime.now()
+today = date.today()

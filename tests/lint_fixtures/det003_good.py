@@ -1,0 +1,13 @@
+"""DET003 negative fixture: virtual time and explicit timestamps."""
+
+
+class Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, delta_ms: float) -> None:
+        self.now += delta_ms
+
+
+def elapsed(issued_at: float, completed_at: float) -> float:
+    return completed_at - issued_at

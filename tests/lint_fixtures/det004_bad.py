@@ -1,0 +1,16 @@
+"""DET004 positive fixture: set iteration feeding a schedule.
+
+Only meaningful when linted under a sim-critical module path
+(the test maps this file to ``repro.sim.fixture``).
+"""
+
+schedule = []
+
+for asn in {3, 1, 2}:
+    schedule.append(asn)
+
+for asn in set(schedule):
+    schedule.append(asn + 1)
+
+pairs = [(a, b) for a in {1, 2} for b in schedule]
+merged = [x for x in frozenset(schedule).union({9})]

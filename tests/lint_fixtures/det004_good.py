@@ -1,0 +1,12 @@
+"""DET004 negative fixture: sets are sorted before iteration."""
+
+failed = {3, 1, 2}
+schedule = []
+
+for asn in sorted(failed):
+    schedule.append(asn)
+
+for asn in sorted(set(schedule)):
+    schedule.append(asn + 1)
+
+merged = [x for x in sorted(failed.union({9}))]

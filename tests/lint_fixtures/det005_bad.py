@@ -1,0 +1,7 @@
+"""DET005 positive fixture: default_rng without an explicit seed."""
+
+import numpy as np
+from numpy.random import default_rng
+
+rng_a = np.random.default_rng()
+rng_b = default_rng(None)

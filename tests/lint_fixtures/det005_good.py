@@ -1,0 +1,11 @@
+"""DET005 negative fixture: explicit seeds everywhere."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    return default_rng(seed)
+
+
+rng = np.random.default_rng(2012)

@@ -1,0 +1,12 @@
+"""HYG001 positive fixture: mutable default arguments."""
+
+from collections import defaultdict
+
+
+def append_event(event: int, queue=[]):
+    queue.append(event)
+    return queue
+
+
+def tally(counts={}, *, buckets=set(), index=defaultdict(list)):
+    return counts, buckets, index

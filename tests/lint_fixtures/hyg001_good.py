@@ -1,0 +1,14 @@
+"""HYG001 negative fixture: None defaults, built inside the body."""
+
+from typing import List, Optional
+
+
+def append_event(event: int, queue: Optional[List[int]] = None) -> List[int]:
+    if queue is None:
+        queue = []
+    queue.append(event)
+    return queue
+
+
+def scale(value: float, factor: float = 1.5, label: str = "x") -> float:
+    return value * factor

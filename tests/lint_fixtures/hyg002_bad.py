@@ -1,0 +1,10 @@
+"""HYG002 positive fixture: float-literal equality.
+
+Scoped: the test maps this file to ``repro.sim.fixture``.
+"""
+
+
+def check(rtt_ms: float, loss: float) -> bool:
+    if rtt_ms == 0.5:
+        return True
+    return loss != -1.5

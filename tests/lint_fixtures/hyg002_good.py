@@ -1,0 +1,11 @@
+"""HYG002 negative fixture: tolerances and integer sentinels."""
+
+import math
+
+
+def check(rtt_ms: float, retries: int) -> bool:
+    if math.isclose(rtt_ms, 0.5, abs_tol=1e-9):
+        return True
+    if rtt_ms < 0.25:
+        return True
+    return retries == 3

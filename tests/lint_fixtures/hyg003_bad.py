@@ -1,0 +1,9 @@
+"""HYG003 positive fixture: bare except."""
+
+
+def swallow(action) -> bool:
+    try:
+        action()
+        return True
+    except:
+        return False

@@ -1,0 +1,11 @@
+"""HYG003 negative fixture: typed exception handlers."""
+
+
+def swallow(action) -> bool:
+    try:
+        action()
+        return True
+    except (ValueError, KeyError):
+        return False
+    except Exception:
+        return False

@@ -1,0 +1,9 @@
+"""HYG004 positive fixture: __all__ exports a phantom symbol."""
+
+from math import sqrt
+
+__all__ = ["sqrt", "real_function", "GhostClass"]
+
+
+def real_function() -> int:
+    return 1

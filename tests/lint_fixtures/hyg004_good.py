@@ -1,0 +1,15 @@
+"""HYG004 negative fixture: every export exists."""
+
+from math import sqrt as square_root
+
+__all__ = ["square_root", "CONSTANT", "Helper", "helper_function"]
+
+CONSTANT = 7
+
+
+class Helper:
+    pass
+
+
+def helper_function() -> int:
+    return CONSTANT

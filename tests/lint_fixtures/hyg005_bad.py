@@ -1,0 +1,16 @@
+"""HYG005 positive fixture: unannotated public API.
+
+Scoped: the test maps this file to ``repro.core.fixture``.
+"""
+
+
+def lookup(guid):
+    return guid
+
+
+class Store:
+    def __init__(self, capacity):
+        self.capacity = capacity
+
+    def insert(self, guid, value):
+        return True

@@ -1,0 +1,20 @@
+"""HYG005 negative fixture: annotated returns; private helpers exempt."""
+
+
+def lookup(guid: int) -> int:
+    return _normalize(guid)
+
+
+def _normalize(guid):
+    return guid
+
+
+class Store:
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+
+    def insert(self, guid: int, value: str) -> bool:
+        def locally_unannotated(x):
+            return x
+
+        return bool(locally_unannotated(guid))

@@ -1,0 +1,28 @@
+"""Suppression fixture: every violation here carries a disable comment,
+except the one at the bottom that the tests expect to survive."""
+
+import random  # lint: disable=DET001
+import time
+
+# lint: disable-file=HYG003
+
+started = time.time()  # lint: disable=DET003,DET001
+
+
+def swallow(action) -> bool:
+    try:
+        action()
+        return True
+    except:  # suppressed file-wide above
+        return False
+
+
+def also_swallow(action) -> bool:
+    try:
+        action()
+        return True
+    except:  # still suppressed by the same file-wide pragma
+        return False
+
+
+surviving = time.time()

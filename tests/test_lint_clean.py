@@ -1,0 +1,23 @@
+"""Tier-1 gate: ``src/repro`` must stay lint-clean.
+
+This is the machine-checked version of the repo's determinism
+conventions (see DESIGN.md "Determinism conventions"): any PR that
+reintroduces an unseeded RNG, a wall-clock read, hash-order iteration
+in sim-critical packages, or the hygiene defects in HYG0xx fails here
+with file:line diagnostics.
+"""
+
+from pathlib import Path
+
+from repro.tooling import lint_paths
+
+SRC_REPRO = Path(__file__).parent.parent / "src" / "repro"
+
+
+def test_src_repro_is_lint_clean():
+    assert SRC_REPRO.is_dir(), SRC_REPRO
+    report = lint_paths([str(SRC_REPRO)])
+    assert report.files_checked > 50  # the whole package, not a subset
+    formatted = "\n".join(d.format_human() for d in report.diagnostics)
+    assert report.ok(), f"repro-lint violations:\n{formatted}"
+    assert report.diagnostics == [], f"repro-lint violations:\n{formatted}"

@@ -1,0 +1,252 @@
+"""Engine-level tests: suppressions, module derivation, discovery,
+rule resolution, and the JSON report schema."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.tooling import (
+    Severity,
+    all_rules,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    resolve_rules,
+)
+from repro.tooling.diagnostics import JSON_SCHEMA_VERSION
+from repro.tooling.engine import derive_module
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+REPO_ROOT = Path(__file__).parent.parent
+
+
+# -- suppressions -----------------------------------------------------
+
+
+def test_line_suppression_silences_only_that_rule_and_line():
+    source = (
+        "import random  # lint: disable=DET001\n"
+        "import random\n"
+    )
+    diagnostics = lint_source(source, module="repro.sim.fixture")
+    assert [(d.rule_id, d.line) for d in diagnostics] == [("DET001", 2)]
+
+
+def test_line_suppression_accepts_comma_separated_ids():
+    source = "import time\nx = time.time()  # lint: disable=DET003,DET001\n"
+    assert lint_source(source, module="repro.sim.fixture") == []
+
+
+def test_line_suppression_all_keyword():
+    source = "import random  # lint: disable=all\n"
+    assert lint_source(source, module="repro.sim.fixture") == []
+
+
+def test_file_wide_suppression():
+    source = (
+        "# lint: disable-file=HYG003\n"
+        "try:\n    pass\nexcept:\n    pass\n"
+        "try:\n    pass\nexcept:\n    pass\n"
+    )
+    assert lint_source(source, module="repro.sim.fixture") == []
+
+
+def test_suppression_fixture_only_unsuppressed_finding_survives():
+    diagnostics = lint_source(
+        (FIXTURES / "suppressions.py").read_text(encoding="utf-8"),
+        module="suppressions",
+    )
+    assert [d.rule_id for d in diagnostics] == ["DET003"]
+    assert diagnostics[0].line == 28
+
+
+def test_suppressed_findings_are_counted_in_reports(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("import random  # lint: disable=DET001\n")
+    report = lint_paths([str(tmp_path)])
+    assert report.diagnostics == []
+    assert report.suppressed_count == 1
+
+
+# -- module derivation and scoping ------------------------------------
+
+
+@pytest.mark.parametrize(
+    "path,expected",
+    [
+        ("src/repro/sim/engine.py", "repro.sim.engine"),
+        ("src/repro/core/__init__.py", "repro.core"),
+        ("src/repro/__init__.py", "repro"),
+        ("tests/lint_fixtures/det001_bad.py", "det001_bad"),
+    ],
+)
+def test_derive_module(path, expected):
+    assert derive_module(Path(path)) == expected
+
+
+def test_scoped_rules_skip_fixture_files_on_disk():
+    # det004_bad.py lives outside any repro package dir, so the scoped
+    # DET004 rule must not fire when linting it by path.
+    report = lint_paths([str(FIXTURES / "det004_bad.py")])
+    assert [d for d in report.diagnostics if d.rule_id == "DET004"] == []
+
+
+# -- discovery --------------------------------------------------------
+
+
+def test_iter_python_files_skips_caches_and_sorts(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "b.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+    cache = tmp_path / "pkg" / "__pycache__"
+    cache.mkdir()
+    (cache / "a.cpython-311.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "note.txt").write_text("not python\n")
+    names = [p.name for p in iter_python_files([str(tmp_path)])]
+    assert names == ["a.py", "b.py"]
+
+
+def test_lint_paths_missing_target_raises():
+    with pytest.raises(FileNotFoundError):
+        lint_paths(["no/such/dir"])
+
+
+def test_unparseable_file_becomes_syntax_diagnostic(tmp_path):
+    target = tmp_path / "broken.py"
+    target.write_text("def broken(:\n")
+    report = lint_paths([str(tmp_path)])
+    assert [d.rule_id for d in report.diagnostics] == ["SYNTAX"]
+    assert report.diagnostics[0].severity is Severity.ERROR
+    assert not report.ok()
+
+
+# -- rule registry ----------------------------------------------------
+
+
+def test_all_rules_registered_and_ordered():
+    ids = [rule.rule_id for rule in all_rules()]
+    assert ids == sorted(ids)
+    assert {
+        "DET001",
+        "DET002",
+        "DET003",
+        "DET004",
+        "DET005",
+        "HYG001",
+        "HYG002",
+        "HYG003",
+        "HYG004",
+        "HYG005",
+    } <= set(ids)
+
+
+def test_resolve_rules_select_and_ignore():
+    assert [r.rule_id for r in resolve_rules(select=["DET001"])] == ["DET001"]
+    remaining = {r.rule_id for r in resolve_rules(ignore=["DET001"])}
+    assert "DET001" not in remaining and "DET002" in remaining
+    with pytest.raises(KeyError):
+        resolve_rules(select=["NOPE999"])
+
+
+# -- JSON schema ------------------------------------------------------
+
+
+def test_report_json_schema(tmp_path):
+    (tmp_path / "mod.py").write_text("import random\n")
+    payload = lint_paths([str(tmp_path)]).to_dict()
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert payload["tool"] == "repro-lint"
+    assert payload["files_checked"] == 1
+    assert payload["summary"] == {
+        "errors": 1,
+        "warnings": 0,
+        "suppressed": 0,
+    }
+    (diagnostic,) = payload["diagnostics"]
+    assert set(diagnostic) == {
+        "rule",
+        "severity",
+        "path",
+        "line",
+        "col",
+        "message",
+    }
+    assert diagnostic["rule"] == "DET001"
+    assert diagnostic["severity"] == "error"
+    assert diagnostic["line"] == 1
+    # The whole payload must round-trip through json.
+    assert json.loads(json.dumps(payload)) == payload
+
+
+# -- CLI --------------------------------------------------------------
+
+
+def _run_cli(*args, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.tooling.lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env=env,
+    )
+
+
+def test_cli_flags_violations_with_locations(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n")
+    result = _run_cli(str(bad))
+    assert result.returncode == 1
+    assert f"{bad}:1:1: DET001" in result.stdout
+    assert "FAILED" in result.stdout
+
+
+def test_cli_clean_tree_exits_zero(tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    result = _run_cli(str(good))
+    assert result.returncode == 0
+    assert "ok" in result.stdout
+
+
+def test_cli_json_output_parses(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n")
+    result = _run_cli("--format", "json", str(bad))
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["summary"]["errors"] == 1
+    assert payload["diagnostics"][0]["rule"] == "DET001"
+
+
+def test_cli_list_rules():
+    result = _run_cli("--list-rules")
+    assert result.returncode == 0
+    assert "DET001" in result.stdout
+    assert "HYG005" in result.stdout
+
+
+def test_cli_unknown_rule_is_usage_error(tmp_path):
+    result = _run_cli("--select", "NOPE999", str(tmp_path))
+    assert result.returncode == 2
+    assert "NOPE999" in result.stderr
+
+
+def test_cli_empty_rule_set_is_usage_error(tmp_path):
+    result = _run_cli("--select", "DET001", "--ignore", "DET001", str(tmp_path))
+    assert result.returncode == 2
+    assert "no rules" in result.stderr
+
+
+def test_cli_select_limits_rules(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\ntry:\n    pass\nexcept:\n    pass\n")
+    result = _run_cli("--select", "HYG003", str(bad))
+    assert result.returncode == 1
+    assert "HYG003" in result.stdout
+    assert "DET001" not in result.stdout
