@@ -259,6 +259,7 @@ class DMapResolver:
         guid: Union[GUID, int, str],
         source_asn: int,
         probe: Optional[AvailabilityProbe] = None,
+        is_down: Optional[Callable[[int], bool]] = None,
     ) -> LookupResult:
         """GUID Lookup from a host attached to ``source_asn``.
 
@@ -266,30 +267,59 @@ class DMapResolver:
         side walks replicas best-first, paying a full round trip for each
         "GUID missing" reply and ``timeout_ms`` for each dead AS
         (§III-D.3).  ``probe`` injects churn/failure outcomes; by default
-        every replica that stores the mapping answers.
+        every replica that stores the mapping answers.  ``is_down`` marks
+        ASs whose mapping service drops requests outright — it only
+        affects the querier's own AS here (a down *replica* is expressed
+        through ``probe`` returning a timeout), mirroring the DES where a
+        down source swallows the local-branch request.
+
+        The local branch is only launched when the source AS is not
+        itself a global candidate (otherwise the global walk covers it),
+        and ties go to the local reply — in the event simulation the
+        local request is issued first, so at equal arrival times its
+        response is scheduled, and therefore delivered, first.
+
+        A "GUID missing" reply from a replica that *should* host the
+        mapping triggers the §III-D.1 lazy migration pull, exactly like
+        the DES's genuine-miss hook; the pull is asynchronous and adds no
+        latency to this lookup.
 
         Raises
         ------
         LookupFailedError
-            If every replica fails.
+            If every replica fails.  The elapsed time accounts for the
+            slower of the two branches: the failed global walk and the
+            local miss (or local timeout, when the source AS is down).
         """
         guid = guid_like(guid)
         candidates = self.placer.hosting_asns(guid)
         ordered = self.selector.order_candidates(source_asn, candidates)
 
         # Parallel local branch: a same-AS copy answers in the intra-AS RTT.
-        local_time: Optional[float] = None
+        local_end: Optional[float] = None
         local_entry: Optional[MappingEntry] = None
         # Churn staleness does not affect the local branch: the querier and
         # the local store share one BGP view (same convention as the DES).
-        if self.local_replica:
-            local_entry = self.store_at(source_asn).get(guid)
-            if local_entry is not None:
-                local_time = 2.0 * self.router.topology.intra_latency(source_asn)
+        if self.local_replica and source_asn not in ordered:
+            if is_down is not None and is_down(source_asn):
+                # The querier's own mapping service is down: the local
+                # request vanishes and its adaptive timer expires instead.
+                local_end = max(
+                    self.timeout_ms,
+                    2.0 * self.router.rtt_ms(source_asn, source_asn),
+                )
+            else:
+                local_entry = self.store_at(source_asn).get(guid)
+                local_end = 2.0 * self.router.topology.intra_latency(source_asn)
 
         attempts: List[Attempt] = []
         elapsed = 0.0
         for asn in ordered:
+            if local_entry is not None and local_end <= elapsed:
+                # The local reply arrived before this attempt was sent.
+                return LookupResult(
+                    local_entry, local_end, source_asn, tuple(attempts), True
+                )
             rtt = self.router.rtt_ms(source_asn, asn)
             outcome = OUTCOME_HIT
             if probe is not None:
@@ -299,17 +329,14 @@ class DMapResolver:
                     entry = self.store_at(asn).lookup(guid)
                 except MappingNotFoundError:
                     outcome = OUTCOME_MISSING
+                    self._lazy_migrate(guid, asn)
             if outcome == OUTCOME_HIT:
                 elapsed += rtt
                 attempts.append(Attempt(asn, OUTCOME_HIT, rtt))
-                if (
-                    local_time is not None
-                    and local_entry is not None
-                    and local_time < elapsed
-                ):
+                if local_entry is not None and local_end <= elapsed:
                     # The parallel local query answered first (§III-C).
                     return LookupResult(
-                        local_entry, local_time, source_asn, tuple(attempts), True
+                        local_entry, local_end, source_asn, tuple(attempts), True
                     )
                 return LookupResult(entry, elapsed, asn, tuple(attempts), False)
             if outcome == OUTCOME_MISSING:
@@ -325,11 +352,38 @@ class DMapResolver:
             else:
                 raise ConfigurationError(f"probe returned unknown outcome {outcome!r}")
 
-        if local_time is not None and local_entry is not None:
+        if local_entry is not None:
             return LookupResult(
-                local_entry, local_time, source_asn, tuple(attempts), True
+                local_entry, local_end, source_asn, tuple(attempts), True
             )
+        if local_end is not None:
+            # The local branch ran but answered "missing" (or its timer
+            # expired): the lookup fails when the later branch ends.
+            elapsed = max(elapsed, local_end)
         raise LookupFailedError(guid, elapsed, len(attempts))
+
+    def _lazy_migrate(self, guid: GUID, asn: int) -> None:
+        """§III-D.1 lazy pull after a genuine miss at a hosting AS.
+
+        Mirrors the DES miss hook: the first query that reaches an AS the
+        current table says should host the mapping — and finds it absent —
+        makes that AS pull the entry from the closest AS still holding a
+        copy.  The pull is a background migration message, so no latency
+        is charged to the triggering lookup.
+        """
+        donors = sorted(
+            donor
+            for donor, store in self.stores.items()
+            if donor != asn and store.get(guid) is not None
+        )
+        if not donors:
+            return
+        donor, _latency = self.router.closest_of(
+            asn, np.asarray(donors, dtype=np.int64)
+        )
+        entry = self.store_at(int(donor)).get(guid)
+        if entry is not None:
+            self.store_at(asn).insert(entry)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -12,7 +12,7 @@ Run: ``python -m repro.experiments fig4 [--scale small|medium|paper]``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 import numpy as np
@@ -35,10 +35,14 @@ class Fig4Result:
     scale: str
     rtts_by_k: Dict[int, np.ndarray]
     local_hit_fraction: Dict[int, float]
+    failed_by_k: Dict[int, int] = field(default_factory=dict)
 
     def summaries(self) -> Dict[int, LatencySummary]:
-        """Table-I-style stats per K."""
-        return {k: summarize(v) for k, v in self.rtts_by_k.items()}
+        """Table-I-style stats per K (with the failed-lookup count)."""
+        return {
+            k: summarize(v, failed=self.failed_by_k.get(k, 0))
+            for k, v in self.rtts_by_k.items()
+        }
 
     def render(self) -> str:
         """The textual Fig. 4: CDF read-offs plus summary rows."""
@@ -49,8 +53,13 @@ class Fig4Result:
             format_cdf_table(series, thresholds),
             "",
             format_table(
-                ["config", "mean [ms]", "median [ms]", "95th [ms]"],
-                [percentile_row(f"K={k}", v) for k, v in self.rtts_by_k.items()],
+                ["config", "mean [ms]", "median [ms]", "95th [ms]", "success"],
+                [
+                    percentile_row(
+                        f"K={k}", v, failed=self.failed_by_k.get(k, 0)
+                    )
+                    for k, v in self.rtts_by_k.items()
+                ],
             ),
         ]
         max_k = max(self.rtts_by_k)
@@ -84,6 +93,7 @@ def run_fig4(
 
     rtts_by_k: Dict[int, np.ndarray] = {}
     local_hits: Dict[int, float] = {}
+    failed_by_k: Dict[int, int] = {}
     for k in k_values:
         if use_simulation:
             sim = DMapSimulation(
@@ -99,6 +109,7 @@ def run_fig4(
             sim.run()
             rtts_by_k[k] = sim.metrics.rtts()
             local_hits[k] = sim.metrics.local_hit_fraction()
+            failed_by_k[k] = len(sim.metrics.failed)
         else:
             resolver = DMapResolver(
                 env.table,
@@ -110,7 +121,10 @@ def run_fig4(
             rtts = workload.run_through_resolver(resolver, env.table)
             rtts_by_k[k] = np.asarray(rtts, dtype=float)
             local_hits[k] = float("nan")
-    return Fig4Result(env.scale.name, rtts_by_k, local_hits)
+            # The instant resolver retries whole replica-set rounds until
+            # the lookup succeeds, so this path records no failures.
+            failed_by_k[k] = 0
+    return Fig4Result(env.scale.name, rtts_by_k, local_hits, failed_by_k)
 
 
 def main(scale: Optional[str] = None) -> Fig4Result:

@@ -6,7 +6,7 @@ that diffs cleanly in a terminal and in ``EXPERIMENTS.md``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,15 +32,19 @@ def format_cdf_table(
     thresholds: Sequence[float],
     unit: str = "ms",
 ) -> str:
-    """Read each series' CDF at fixed thresholds — a textual Fig. 4/5/6."""
-    headers = [f"P(x < t)  t [{unit}]"] + [name for name in series]
+    """Read each series' CDF at fixed thresholds — a textual Fig. 4/5/6.
+
+    Read-offs are inclusive (``P[X <= t]``), the standard CDF convention:
+    a sample exactly at the threshold counts as answered within it.
+    """
+    headers = [f"P(x <= t)  t [{unit}]"] + [name for name in series]
     rows: List[List[object]] = []
     arrays = {name: np.sort(np.asarray(list(v), dtype=float)) for name, v in series.items()}
     for t in thresholds:
         row: List[object] = [f"{t:g}"]
         for name in series:
             arr = arrays[name]
-            row.append(f"{(arr < t).mean():.3f}")
+            row.append(f"{(arr <= t).mean():.3f}")
         rows.append(row)
     return format_table(headers, rows)
 
@@ -71,12 +75,23 @@ def ascii_cdf(
     return "\n".join([title] + lines + [footer])
 
 
-def percentile_row(name: str, values: Sequence[float]) -> Tuple[str, str, str, str]:
-    """(name, mean, median, p95) formatted like Table I."""
+def percentile_row(
+    name: str, values: Sequence[float], failed: Optional[int] = None
+) -> Tuple[str, ...]:
+    """(name, mean, median, p95) formatted like Table I.
+
+    With ``failed`` (count of lookups that exhausted every replica) the
+    row gains a success-rate cell, so tables never report latencies of
+    the survivors without saying how many queries died.
+    """
     arr = np.asarray(list(values), dtype=float)
-    return (
+    row = (
         name,
         f"{arr.mean():.1f}",
         f"{np.median(arr):.1f}",
         f"{np.percentile(arr, 95):.1f}",
     )
+    if failed is None:
+        return row
+    success_rate = arr.size / (arr.size + failed)
+    return row + (f"{success_rate:.1%} ({failed} failed)",)

@@ -37,7 +37,12 @@ class QueryRecord:
 
 @dataclass(frozen=True)
 class LatencySummary:
-    """The paper's Table I row: mean / median / 95th percentile (ms)."""
+    """The paper's Table I row: mean / median / 95th percentile (ms).
+
+    ``failed`` counts the lookups that exhausted every replica (they have
+    no response time and are excluded from the latency statistics, but a
+    latency row without them would silently overstate the scheme).
+    """
 
     count: int
     mean: float
@@ -45,20 +50,33 @@ class LatencySummary:
     p95: float
     p99: float
     max: float
+    failed: int = 0
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of issued lookups that completed successfully."""
+        return self.count / (self.count + self.failed)
 
     def as_row(self) -> str:
-        """Formatted like Table I."""
+        """Formatted like Table I, plus the success accounting."""
         return (
             f"n={self.count}  mean={self.mean:.1f}ms  median={self.median:.1f}ms  "
-            f"95th={self.p95:.1f}ms"
+            f"95th={self.p95:.1f}ms  success={self.success_rate:.1%}"
+            f" ({self.failed} failed)"
         )
 
 
-def summarize(values: Sequence[float]) -> LatencySummary:
-    """Summary statistics over latency samples."""
+def summarize(values: Sequence[float], failed: int = 0) -> LatencySummary:
+    """Summary statistics over latency samples.
+
+    ``failed`` is carried through to the summary so tables can report
+    the success rate next to the latency percentiles.
+    """
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
         raise SimulationError("cannot summarize zero samples")
+    if failed < 0:
+        raise SimulationError("failed count must be non-negative")
     return LatencySummary(
         count=int(arr.size),
         mean=float(arr.mean()),
@@ -66,6 +84,7 @@ def summarize(values: Sequence[float]) -> LatencySummary:
         p95=float(np.percentile(arr, 95)),
         p99=float(np.percentile(arr, 99)),
         max=float(arr.max()),
+        failed=failed,
     )
 
 
@@ -74,27 +93,37 @@ def cdf_points(
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Empirical CDF ``(x, F(x))`` of the samples.
 
-    With ``n_points`` the curve is downsampled to evenly spaced quantiles
-    (for compact text/plot output); otherwise every sample is a step.
+    With ``n_points`` the curve is downsampled to exactly ``n_points``
+    evenly spaced quantiles (for compact text/plot output); otherwise
+    every sample is a step.
     """
     arr = np.sort(np.asarray(list(values), dtype=float))
     if arr.size == 0:
         raise SimulationError("cannot build a CDF from zero samples")
     fractions = np.arange(1, arr.size + 1, dtype=float) / arr.size
     if n_points is not None and n_points < arr.size:
-        idx = np.unique(
-            np.round(np.linspace(0, arr.size - 1, n_points)).astype(int)
-        )
+        if n_points < 1:
+            raise SimulationError("n_points must be positive")
+        # The indices are strictly increasing (spacing > 1 whenever
+        # n_points < size), so exactly n_points are returned — a previous
+        # np.unique pass could collapse rounded duplicates and silently
+        # hand back fewer points than requested.
+        idx = np.round(np.linspace(0, arr.size - 1, n_points)).astype(int)
         return arr[idx], fractions[idx]
     return arr, fractions
 
 
 def fraction_below(values: Sequence[float], threshold: float) -> float:
-    """Fraction of samples strictly below ``threshold`` (CDF read-off)."""
+    """Empirical CDF read-off ``F(t) = P[X <= t]`` at ``threshold``.
+
+    Inclusive, matching the CDF definition: a sample exactly at the
+    threshold counts (the strict version reads 0.0 at the minimum sample,
+    which is never what a "fraction answered within t ms" figure means).
+    """
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
         raise SimulationError("cannot evaluate a CDF with zero samples")
-    return float((arr < threshold).mean())
+    return float((arr <= threshold).mean())
 
 
 class MetricsCollector:
@@ -116,8 +145,12 @@ class MetricsCollector:
         return np.asarray([r.rtt_ms for r in self.records], dtype=float)
 
     def summary(self) -> LatencySummary:
-        """Table-I style summary of successful queries."""
-        return summarize(self.rtts())
+        """Table-I style summary of successful queries.
+
+        The failed-lookup count rides along so the success rate is
+        visible next to the latency percentiles.
+        """
+        return summarize(self.rtts(), failed=len(self.failed))
 
     def cdf(self, n_points: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
         """CDF of successful query response times."""

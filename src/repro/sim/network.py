@@ -28,6 +28,7 @@ class MessageKind(enum.Enum):
     LOOKUP_HIT = "lookup_hit"  # response carrying the mapping
     LOOKUP_MISS = "lookup_miss"  # "GUID missing" reply (§IV-B.2b)
     MIGRATE = "migrate"  # GUID migration between ASs (§III-D.1)
+    RETIRE = "retire"  # retire a superseded local copy after an Update
 
 
 @dataclass(frozen=True)

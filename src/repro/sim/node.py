@@ -83,6 +83,8 @@ class ASNode:
             self._serve_lookup(message)
         elif message.kind is MessageKind.MIGRATE:
             self._serve_migrate(message)
+        elif message.kind is MessageKind.RETIRE:
+            self._serve_retire(message)
         else:
             raise SimulationError(f"AS {self.asn}: unexpected message {message.kind}")
 
@@ -135,3 +137,15 @@ class ASNode:
     def _serve_migrate(self, message: Message) -> None:
         entry: MappingEntry = message.payload
         self.store.insert(entry)
+
+    def _serve_retire(self, message: Message) -> None:
+        """Drop a local copy superseded by an Update at a newer AS.
+
+        The version guard keeps the retire safe when this AS also hosts a
+        global replica: the INSERT racing ahead of the RETIRE refreshes
+        the stored version, so only genuinely stale copies are removed.
+        """
+        entry: MappingEntry = message.payload
+        stored = self.store.get(entry.guid)
+        if stored is not None and stored.version < entry.version:
+            self.store.delete(entry.guid)

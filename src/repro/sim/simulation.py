@@ -93,6 +93,7 @@ class _PendingLookup:
         "timeout_handle",
         "done",
         "local_pending",
+        "local_timeout_handle",
     )
 
     def __init__(
@@ -113,6 +114,7 @@ class _PendingLookup:
         self.timeout_handle: Optional[EventHandle] = None
         self.done = False
         self.local_pending = False
+        self.local_timeout_handle: Optional[EventHandle] = None
 
     # -- global branch -------------------------------------------------
     def try_next(self, request_id: int) -> None:
@@ -161,6 +163,9 @@ class _PendingLookup:
         # LOOKUP_MISS
         if is_local:
             self.local_pending = False
+            if self.local_timeout_handle is not None:
+                self.local_timeout_handle.cancel()
+                self.local_timeout_handle = None
             if self.next_candidate >= len(self.candidates) and self.timeout_handle is None:
                 self._maybe_fail()
             return
@@ -169,10 +174,25 @@ class _PendingLookup:
             self.timeout_handle = None
         self.try_next(message.request_id)
 
+    def _on_local_timeout(self) -> None:
+        """The local-branch request was swallowed (source AS down).
+
+        Without this timer a dead querying AS would leave ``local_pending``
+        set forever and the lookup would never be recorded as failed.
+        """
+        if self.done:
+            return
+        self.local_timeout_handle = None
+        self.local_pending = False
+        if self.next_candidate >= len(self.candidates) and self.timeout_handle is None:
+            self._maybe_fail()
+
     def _complete(self, served_by: int, used_local: bool) -> None:
         self.done = True
         if self.timeout_handle is not None:
             self.timeout_handle.cancel()
+        if self.local_timeout_handle is not None:
+            self.local_timeout_handle.cancel()
         sim = self.simulation
         sim.metrics.add(
             QueryRecord(
@@ -268,6 +288,9 @@ class DMapSimulation:
         self.insert_records: List[InsertRecord] = []
         self._pending: Dict[int, object] = {}
         self._versions: Dict[GUID, int] = {}
+        # Current attachment AS of each GUID's host (where the local copy
+        # lives); consulted by updates to retire the superseded copy.
+        self._attachments: Dict[GUID, int] = {}
         # Which ASs are known to hold a copy of each GUID (fed by the
         # write path; consulted by the lazy-migration protocol).
         self._holders: Dict[GUID, set] = {}
@@ -296,8 +319,17 @@ class DMapSimulation:
         source_asn: int,
         at: float,
     ) -> None:
-        """Queue a GUID Update (identical processing to insert, §III-A)."""
-        self.schedule_insert(guid, locators, source_asn, at)
+        """Queue a GUID Update event at virtual time ``at`` (ms).
+
+        Replicas are rewritten exactly like an insert (§III-A); when the
+        host moved to a different AS, the stale attachment-local copy at
+        its previous AS is additionally retired (version-guarded, so an
+        old AS that still hosts a global replica keeps the fresh entry).
+        """
+        guid = guid_like(guid)
+        self.simulator.schedule_at(
+            at, lambda: self._start_update(guid, tuple(locators), source_asn)
+        )
 
     def schedule_lookup(
         self, guid: Union[GUID, int, str], source_asn: int, at: float
@@ -346,7 +378,7 @@ class DMapSimulation:
 
     def _start_insert(
         self, guid: GUID, locators: Sequence[NetworkAddress], source_asn: int
-    ) -> None:
+    ) -> MappingEntry:
         now = self.simulator.now
         entry = MappingEntry(
             guid, tuple(locators), self._next_version(guid), timestamp=now
@@ -359,6 +391,7 @@ class DMapSimulation:
         holders.update(res.asn for res in resolutions)
         if self.local_replica:
             holders.add(source_asn)
+            self._attachments[guid] = source_asn
         for res in resolutions:
             self.network.send(
                 MessageKind.INSERT,
@@ -376,6 +409,26 @@ class DMapSimulation:
                 source_asn,
                 source_asn,
                 request_id,
+                payload=entry,
+                size_bits=ENTRY_SIZE_BITS,
+            )
+        return entry
+
+    def _start_update(
+        self, guid: GUID, locators: Sequence[NetworkAddress], source_asn: int
+    ) -> None:
+        previous = self._attachments.get(guid)
+        entry = self._start_insert(guid, locators, source_asn)
+        if self.local_replica and previous is not None and previous != source_asn:
+            # The host left its old AS; retire the stale local copy there.
+            # Sent after the INSERTs so that, when the old AS is also a
+            # global replica host, the fresh entry lands first and the
+            # version guard in the RETIRE handler keeps it.
+            self.network.send(
+                MessageKind.RETIRE,
+                source_asn,
+                previous,
+                self.network.next_request_id(),
                 payload=entry,
                 size_bits=ENTRY_SIZE_BITS,
             )
@@ -398,6 +451,17 @@ class DMapSimulation:
                 payload={"guid": guid, "is_local": True},
                 size_bits=REQUEST_SIZE_BITS,
             )
+            # Guard the local branch with the same adaptive timeout the
+            # global walk uses: if the querier's own AS is down the local
+            # request vanishes, and without this timer the lookup would
+            # stay pending forever.
+            local_timeout = max(
+                self.timeout_ms,
+                2.0 * self.router.rtt_ms(source_asn, source_asn),
+            )
+            pending.local_timeout_handle = self.simulator.schedule(
+                local_timeout, pending._on_local_timeout
+            )
         pending.try_next(request_id)
 
     # ------------------------------------------------------------------
@@ -414,12 +478,17 @@ class DMapSimulation:
             # and compare with where the copy actually sits.
             new_resolutions = self.placer.resolve_all(guid)
             still_here = any(res.asn == withdrawing_asn for res in new_resolutions)
-            moved = False
+            holders = self._holders.setdefault(guid, set())
             for res in new_resolutions:
-                holders = self._holders.setdefault(guid, set())
-                if res.asn != withdrawing_asn and res.asn not in holders:
+                if (
+                    res.asn != withdrawing_asn
+                    and self.nodes[res.asn].store.get(guid) is None
+                ):
                     # This chain left the withdrawing AS (or was never
-                    # here); ship the copy to its new host if we owned it.
+                    # here); ship the copy to its new host.  The check is
+                    # against the actual store, not the ``_holders`` hint:
+                    # the hint over-approximates (it keeps ASs whose copy
+                    # was since retired), which would skip a needed ship.
                     self.network.send(
                         MessageKind.MIGRATE,
                         withdrawing_asn,
@@ -430,12 +499,12 @@ class DMapSimulation:
                     )
                     holders.add(res.asn)
                     self.migrations += 1
-                    moved = True
-            if moved and not still_here and not self._is_local_copy(
-                guid, withdrawing_asn
-            ):
+            if not still_here and not self._is_local_copy(guid, withdrawing_asn):
+                # No post-withdrawal chain keeps the GUID here, and it is
+                # not the attachment-local copy: drop it even when every
+                # new host already held a replica (no ship happened).
                 node.store.delete(guid)
-                self._holders.get(guid, set()).discard(withdrawing_asn)
+                holders.discard(withdrawing_asn)
 
     def _is_local_copy(self, guid: GUID, asn: int) -> bool:
         """Whether ``asn`` holds the GUID as its attachment-local copy."""
@@ -457,7 +526,7 @@ class DMapSimulation:
             return
         holders = [
             h
-            for h in self._holders.get(guid, ())
+            for h in sorted(self._holders.get(guid, ()))
             if h != asn and self.nodes[h].store.get(guid) is not None
         ]
         if not holders:

@@ -27,6 +27,7 @@ SIM_CRITICAL_PACKAGES: Tuple[str, ...] = (
     "repro.hashing",
     "repro.topology",
     "repro.workload",
+    "repro.validation",
 )
 
 #: numpy.random attributes that are part of the seeded-Generator API.

@@ -1,0 +1,28 @@
+"""Differential cross-validation of the two DMap execution paths.
+
+DESIGN.md §4 promises that :class:`~repro.core.resolver.DMapResolver`
+(instant accounting) and :mod:`repro.sim` (true discrete-event replay)
+execute the *identical* protocol.  This package makes that promise
+checkable: it generates seeded randomized scenarios, replays the same
+insert/update/churn/lookup trace through both engines (and, for LPM,
+through all three prefix-match implementations), and reports structured
+mismatch bundles with minimal reproducer seeds.
+
+Run it as ``python -m repro.validation --scenarios 50 --seed 0``; the
+tier-1 suite runs a small smoke set, CI a larger one on every push.
+"""
+
+from .differ import ScenarioDiff, diff_scenario
+from .report import Mismatch, ValidationReport
+from .scenarios import Scenario, ScenarioAvailability, ScenarioConfig, generate_scenario
+
+__all__ = [
+    "Mismatch",
+    "Scenario",
+    "ScenarioAvailability",
+    "ScenarioConfig",
+    "ScenarioDiff",
+    "ValidationReport",
+    "diff_scenario",
+    "generate_scenario",
+]

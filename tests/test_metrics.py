@@ -44,6 +44,17 @@ class TestSummarize:
         row = summarize([10.0, 20.0]).as_row()
         assert "mean=15.0ms" in row
         assert "median=15.0ms" in row
+        assert "success=100.0%" in row
+
+    def test_failed_count_and_success_rate(self):
+        summary = summarize([10.0, 20.0, 30.0], failed=1)
+        assert summary.failed == 1
+        assert summary.success_rate == pytest.approx(0.75)
+        assert "success=75.0% (1 failed)" in summary.as_row()
+
+    def test_negative_failed_rejected(self):
+        with pytest.raises(SimulationError):
+            summarize([1.0], failed=-1)
 
 
 class TestCdf:
@@ -52,10 +63,19 @@ class TestCdf:
         assert xs.tolist() == [1.0, 2.0, 3.0]
         assert ys.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
 
-    def test_downsampled(self):
+    def test_downsampled_exact_count(self):
         xs, ys = cdf_points(np.arange(1000.0), n_points=10)
-        assert len(xs) <= 10
+        assert len(xs) == 10
+        assert len(ys) == 10
         assert ys[-1] == 1.0
+
+    def test_downsampled_no_rounding_collapse(self):
+        # Rounded linspace indices can collide only via np.unique-style
+        # post-processing; the quantile indices themselves are strictly
+        # increasing, so every requested point count is honoured.
+        for n_points in (2, 3, 7, 63, 64, 65):
+            xs, _ys = cdf_points(np.arange(100.0), n_points=n_points)
+            assert len(xs) == n_points
 
     def test_empty_rejected(self):
         with pytest.raises(SimulationError):
@@ -63,7 +83,10 @@ class TestCdf:
 
     def test_fraction_below(self):
         assert fraction_below([1.0, 2.0, 3.0, 4.0], 2.5) == 0.5
-        assert fraction_below([1.0], 1.0) == 0.0  # strict
+        # Inclusive CDF semantics: a sample at the threshold counts.
+        assert fraction_below([1.0], 1.0) == 1.0
+        assert fraction_below([1.0, 2.0], 1.0) == 0.5
+        assert fraction_below([1.0], 0.999) == 0.0
 
 
 class TestCollector:

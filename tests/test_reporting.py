@@ -33,9 +33,12 @@ class TestCdfTable:
         assert "1.000" in text  # everything below 100
         assert "a" in text and "b" in text
 
-    def test_strict_inequality(self):
+    def test_inclusive_at_threshold(self):
+        # CDF semantics: P[X <= t], so a sample exactly at the threshold
+        # is counted as answered within it.
         text = format_cdf_table({"x": [5.0]}, thresholds=[5.0])
-        assert "0.000" in text
+        assert "1.000" in text
+        assert "P(x <= t)" in text
 
 
 class TestAsciiCdf:
@@ -67,3 +70,12 @@ class TestPercentileRow:
         assert mean == "20.0"
         assert median == "20.0"
         assert float(p95) == pytest.approx(np.percentile([10, 20, 30], 95), abs=0.05)
+
+    def test_success_cell_when_failures_tracked(self):
+        row = percentile_row("row", [10.0, 20.0, 30.0], failed=1)
+        assert len(row) == 5
+        assert row[-1] == "75.0% (1 failed)"
+
+    def test_success_cell_all_succeeded(self):
+        row = percentile_row("row", [10.0], failed=0)
+        assert row[-1] == "100.0% (0 failed)"
