@@ -62,7 +62,25 @@ def main(argv: Optional[list] = None) -> int:
         choices=["small", "medium", "paper"],
         help="substrate/workload scale (default: REPRO_SCALE env var or small)",
     )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=["scalar", "fastpath", "bulk"],
+        help="execution engine for fig4/fig6 (fig4: scalar|fastpath, "
+        "default scalar; fig6: bulk|fastpath, default bulk)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the fastpath shard runner (fig4 only; "
+        "0 = all cores)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs == 0:
+        from ..fastpath.runner import default_jobs
+
+        args.jobs = default_jobs()
 
     name = ALIASES.get(args.experiment, args.experiment)
     if name == "all":
@@ -74,7 +92,16 @@ def main(argv: Optional[list] = None) -> int:
     runner = EXPERIMENTS.get(name)
     if runner is None:
         parser.error(f"unknown experiment {args.experiment!r}")
-    runner(args.scale)
+    if name == "fig4":
+        fig4_response_time.main(
+            args.scale, engine=args.engine or "scalar", n_jobs=args.jobs
+        )
+    elif name == "fig6":
+        fig6_load.main(args.scale, engine=args.engine or "bulk")
+    else:
+        if args.engine is not None:
+            parser.error(f"--engine is not supported by {name!r}")
+        runner(args.scale)
     return 0
 
 

@@ -77,13 +77,18 @@ def run_fig4(
     selection_policy: str = "latency",
     environment: Optional[Environment] = None,
     workload_override: Optional[WorkloadConfig] = None,
+    engine: str = "scalar",
+    n_jobs: int = 1,
 ) -> Fig4Result:
     """Run the Fig. 4 experiment.
 
     ``use_simulation`` replays the workload through the discrete-event
     engine instead of the (equivalent, faster) instant resolver;
     ``local_replica`` and ``selection_policy`` expose the paper's §III-C
-    and §IV-B.2a design knobs for ablation.
+    and §IV-B.2a design knobs for ablation.  ``engine="fastpath"``
+    batches the lookup pipeline through
+    :class:`~repro.fastpath.engine.FastpathEngine` (bit-identical RTTs;
+    ``n_jobs`` shards source-AS groups across processes).
     """
     env = environment or get_environment(scale, seed)
     workload_config = workload_override or WorkloadConfig(
@@ -118,7 +123,9 @@ def run_fig4(
                 local_replica=local_replica,
                 selection_policy=selection_policy,
             )
-            rtts = workload.run_through_resolver(resolver, env.table)
+            rtts = workload.run_through_resolver(
+                resolver, env.table, engine=engine, n_jobs=n_jobs
+            )
             rtts_by_k[k] = np.asarray(rtts, dtype=float)
             local_hits[k] = float("nan")
             # The instant resolver retries whole replica-set rounds until
@@ -127,9 +134,11 @@ def run_fig4(
     return Fig4Result(env.scale.name, rtts_by_k, local_hits, failed_by_k)
 
 
-def main(scale: Optional[str] = None) -> Fig4Result:
+def main(
+    scale: Optional[str] = None, engine: str = "scalar", n_jobs: int = 1
+) -> Fig4Result:
     """CLI entry point: run and print."""
-    result = run_fig4(scale)
+    result = run_fig4(scale, engine=engine, n_jobs=n_jobs)
     print(result.render())
     return result
 

@@ -19,8 +19,10 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..bgp.interval_index import HOLE
+from ..errors import ConfigurationError
+from ..fastpath.placement import resolve_batch
 from ..hashing.hashers import FastHasher
-from ..hashing.rehash import DEFAULT_MAX_REHASHES, place_guids_bulk
+from ..hashing.rehash import DEFAULT_MAX_REHASHES, GuidPlacer, place_guids_bulk
 from ..sim.metrics import normalized_load_ratios
 from .common import Environment, get_environment
 from .reporting import format_cdf_table, format_table
@@ -72,13 +74,19 @@ def run_fig6(
     seed: int = 0,
     max_rehashes: int = DEFAULT_MAX_REHASHES,
     environment: Optional[Environment] = None,
+    engine: str = "bulk",
 ) -> Fig6Result:
     """Run the Fig. 6 storage-balance experiment.
 
     At non-paper scales the population sizes shrink proportionally to the
     AS count so the statistical regime (GUIDs-per-AS) matches the paper's.
+    ``engine="fastpath"`` routes placement through the shared
+    :func:`repro.fastpath.placement.resolve_batch` kernel (bit-identical
+    to the original ``place_guids_bulk``; folding a uint64 is a no-op).
     """
     env = environment or get_environment(scale, seed)
+    if engine not in ("bulk", "fastpath"):
+        raise ConfigurationError(f"unknown engine {engine!r}")
     if n_guids_list is None:
         factor = env.scale.n_as / 26_424
         n_guids_list = [max(1000, int(n * factor)) for n in FIG6_N_GUIDS]
@@ -92,9 +100,13 @@ def run_fig6(
     deputy_by_n: Dict[int, float] = {}
     for n in n_guids_list:
         folded = rng.integers(0, np.iinfo(np.uint64).max, size=n, dtype=np.uint64)
-        asns, _attempts, via_deputy = place_guids_bulk(
-            folded, hasher, index, env.table, max_rehashes=max_rehashes
-        )
+        if engine == "fastpath":
+            placer = GuidPlacer(hasher, env.table, max_rehashes=max_rehashes)
+            asns, _attempts, via_deputy = resolve_batch(placer, folded, index)
+        else:
+            asns, _attempts, via_deputy = place_guids_bulk(
+                folded, hasher, index, env.table, max_rehashes=max_rehashes
+            )
         flat = asns.ravel()
         unique, counts = np.unique(flat, return_counts=True)
         guid_counts = {int(a): int(c) for a, c in zip(unique, counts) if a != HOLE}
@@ -103,9 +115,9 @@ def run_fig6(
     return Fig6Result(env.scale.name, k, nlr_by_n, deputy_by_n)
 
 
-def main(scale: Optional[str] = None) -> Fig6Result:
+def main(scale: Optional[str] = None, engine: str = "bulk") -> Fig6Result:
     """CLI entry point: run and print."""
-    result = run_fig6(scale)
+    result = run_fig6(scale, engine=engine)
     print(result.render())
     return result
 

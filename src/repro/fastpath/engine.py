@@ -1,0 +1,444 @@
+"""The batched lookup/insert engine (semantically identical to the resolver).
+
+:class:`FastpathEngine` executes the DMap protocol arithmetic of
+:class:`~repro.core.resolver.DMapResolver` over whole workloads at once:
+
+* GUIDs are placed **once** per unique identifier (the scalar resolver
+  re-derives the K hosting ASs on every lookup);
+* lookups are grouped by source AS, so each group needs exactly one
+  cached Dijkstra row; replica selection is a fancy-indexed row-wise
+  ``argmin`` whose tie-breaking provably matches the stable sort in
+  :class:`~repro.core.replication.ReplicaSelector`;
+* the §III-C local-replica race and the §III-D.3 failed-attempt
+  accounting (one RTT per "GUID missing", an adaptive timeout per dead
+  replica) become row-wise prefix sums over the walk-cost matrix.
+
+Latency arithmetic reproduces the scalar path bit for bit: selection
+keys use the same float32-row + float64-intra expression as
+``Router.one_way_to_many``, and final RTTs widen the row to float64
+before the identical left-to-right sum (see ``Router.rtt_to_many``), so
+equivalence tests can assert exact equality, not just closeness.
+
+Deliberate limits (the scalar resolver stays the oracle):
+
+* the prefix table must not mutate between placement and lookup — BGP
+  churn replays belong to :class:`DMapResolver` / :mod:`repro.sim`;
+* the engine models the *converged* post-write state: every global
+  replica of an inserted GUID holds the mapping (availability models can
+  still inject timeouts/stale misses per (AS, GUID) pair);
+* the ``"random"`` selection policy draws from a per-lookup RNG stream
+  whose consumption order is inherently sequential, and is rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..bgp.table import GlobalPrefixTable
+from ..core.guid import GUID, guid_like
+from ..core.resolver import (
+    DEFAULT_TIMEOUT_MS,
+    OUTCOME_HIT,
+    OUTCOME_MISSING,
+    OUTCOME_TIMEOUT,
+)
+from ..errors import ConfigurationError, DMapError, RoutingError
+from ..hashing.hashers import HashFamily, Sha256Hasher
+from ..hashing.rehash import DEFAULT_MAX_REHASHES, GuidPlacer
+from ..topology.routing import Router
+from .placement import batch_hosting_asns
+
+#: Selection policies the batch engine reproduces exactly.
+SUPPORTED_POLICIES = ("latency", "hops")
+
+#: Integer outcome codes for the vectorized walk.
+_HIT, _MISSING, _TIMEOUT = 0, 1, 2
+_OUTCOME_CODES = {
+    OUTCOME_HIT: _HIT,
+    OUTCOME_MISSING: _MISSING,
+    OUTCOME_TIMEOUT: _TIMEOUT,
+}
+
+
+class FastpathUnsupportedError(DMapError):
+    """The requested configuration needs the scalar oracle."""
+
+
+class _ProbeAdapter:
+    """Wrap a bare ``(asn, guid) -> outcome`` probe as a failure model."""
+
+    def __init__(self, probe: Callable[[int, GUID], str]) -> None:
+        self._probe = probe
+
+    def lookup_outcome(self, asn: int, guid: GUID) -> str:
+        """Fate of a global lookup arriving at ``asn``."""
+        return self._probe(asn, guid)
+
+    def is_down(self, asn: int) -> bool:
+        """Bare probes cannot mark a querier's own AS as down."""
+        return False
+
+
+@dataclass
+class GuidBatch:
+    """A workload's unique GUIDs with their (frozen) placements.
+
+    Attributes
+    ----------
+    guids:
+        Unique identifiers, in workload order.
+    placements:
+        ``(len(guids), K)`` hosting ASNs in replica order.
+    local_asns:
+        Current attachment AS per GUID (where the §III-C local copy
+        lives), or ``-1`` when the GUID has no local copy.
+    """
+
+    guids: List[GUID]
+    placements: np.ndarray
+    local_asns: np.ndarray
+
+
+@dataclass
+class BatchLookupResult:
+    """Per-lookup outcomes, aligned with the query arrays passed in."""
+
+    rtt_ms: np.ndarray
+    served_by: np.ndarray
+    used_local: np.ndarray
+    attempts: np.ndarray
+    success: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.rtt_ms)
+
+
+class FastpathEngine:
+    """Vectorized twin of :class:`~repro.core.resolver.DMapResolver`.
+
+    Constructor parameters mirror the resolver's; ``placer`` may be any
+    scheme :mod:`repro.fastpath.placement` knows how to batch.
+    """
+
+    def __init__(
+        self,
+        table: GlobalPrefixTable,
+        router: Router,
+        k: int = 5,
+        hash_family: Optional[HashFamily] = None,
+        selection_policy: str = "latency",
+        local_replica: bool = True,
+        max_rehashes: int = DEFAULT_MAX_REHASHES,
+        timeout_ms: float = DEFAULT_TIMEOUT_MS,
+        placer=None,
+    ) -> None:
+        if timeout_ms <= 0:
+            raise ConfigurationError("timeout_ms must be positive")
+        if selection_policy not in SUPPORTED_POLICIES:
+            raise FastpathUnsupportedError(
+                f"selection policy {selection_policy!r} is not batchable; "
+                f"use the scalar resolver (supported: {SUPPORTED_POLICIES})"
+            )
+        self.table = table
+        self.router = router
+        self.hash_family = hash_family or Sha256Hasher(k, address_bits=table.bits)
+        self.placer = placer or GuidPlacer(self.hash_family, table, max_rehashes)
+        self.selection_policy = selection_policy
+        self.local_replica = local_replica
+        self.timeout_ms = timeout_ms
+        self._interval = None
+
+    @classmethod
+    def from_resolver(cls, resolver) -> "FastpathEngine":
+        """Build an engine sharing a resolver's exact configuration."""
+        return cls(
+            resolver.table,
+            resolver.router,
+            selection_policy=resolver.selector.policy,
+            local_replica=resolver.local_replica,
+            timeout_ms=resolver.timeout_ms,
+            placer=resolver.placer,
+        )
+
+    @property
+    def k(self) -> int:
+        """Replication factor."""
+        return self.placer.k
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def index_guids(
+        self,
+        guids: Sequence[Union[GUID, int, str]],
+        local_asns: Optional[Sequence[int]] = None,
+    ) -> GuidBatch:
+        """Resolve every GUID's K hosting ASs once, up front.
+
+        ``local_asns`` records where each GUID's local copy currently
+        lives (its latest insert/update source); omit it when the
+        engine's ``local_replica`` is off.
+        """
+        glist = [guid_like(g) for g in guids]
+        values = [g.value for g in glist]
+        if self._interval is None and isinstance(self.placer, GuidPlacer):
+            self._interval = self.placer.table.build_interval_index()
+        placements = batch_hosting_asns(self.placer, values, self._interval)
+        if local_asns is None:
+            local = np.full(len(glist), -1, dtype=np.int64)
+        else:
+            local = np.asarray(local_asns, dtype=np.int64)
+            if local.shape != (len(glist),):
+                raise ConfigurationError(
+                    "local_asns must align one-to-one with guids"
+                )
+        return GuidBatch(glist, placements, local)
+
+    # ------------------------------------------------------------------
+    # Write path (accounting only — the engine keeps no stores)
+    # ------------------------------------------------------------------
+    def write_rtts(
+        self,
+        batch: GuidBatch,
+        guid_idx: np.ndarray,
+        sources: np.ndarray,
+    ) -> np.ndarray:
+        """Insert/update RTTs: the max of the K parallel replica writes."""
+        guid_idx = np.asarray(guid_idx, dtype=np.int64)
+        sources = np.asarray(sources, dtype=np.int64)
+        out = np.empty(len(guid_idx), dtype=np.float64)
+        for src, rows in _iter_source_groups(sources):
+            cand = batch.placements[guid_idx[rows]]
+            rtts = self.router.rtt_to_many(int(src), cand.ravel())
+            out[rows] = rtts.reshape(cand.shape).max(axis=1)
+        return out
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def lookup_batch(
+        self,
+        batch: GuidBatch,
+        guid_idx: np.ndarray,
+        sources: np.ndarray,
+        availability=None,
+        n_jobs: int = 1,
+    ) -> BatchLookupResult:
+        """Resolve many lookups; row ``i`` queries ``batch.guids[guid_idx[i]]``
+        from AS ``sources[i]``.
+
+        ``availability`` is either a failure model exposing
+        ``lookup_outcome(asn, guid)`` / ``is_down(asn)`` (as in
+        :mod:`repro.validation.scenarios`) or a bare probe callable; it
+        must be deterministic per (AS, GUID) so batch evaluation order
+        cannot change outcomes.  ``n_jobs > 1`` shards source-AS groups
+        across worker processes (availability-free workloads only).
+        """
+        guid_idx = np.asarray(guid_idx, dtype=np.int64)
+        sources = np.asarray(sources, dtype=np.int64)
+        if guid_idx.shape != sources.shape or guid_idx.ndim != 1:
+            raise ConfigurationError("guid_idx and sources must be 1-D and aligned")
+        model = availability
+        if model is not None and not hasattr(model, "lookup_outcome"):
+            model = _ProbeAdapter(model)
+        if n_jobs > 1:
+            if model is not None:
+                raise FastpathUnsupportedError(
+                    "sharded execution supports availability-free workloads only"
+                )
+            from .runner import run_sharded
+
+            return run_sharded(self, batch, guid_idx, sources, n_jobs)
+        return self._lookup_serial(batch, guid_idx, sources, model)
+
+    def _lookup_serial(
+        self,
+        batch: GuidBatch,
+        guid_idx: np.ndarray,
+        sources: np.ndarray,
+        model=None,
+    ) -> BatchLookupResult:
+        n = len(guid_idx)
+        rtt = np.empty(n, dtype=np.float64)
+        served = np.full(n, -1, dtype=np.int64)
+        used_local = np.zeros(n, dtype=bool)
+        attempts = np.zeros(n, dtype=np.int64)
+        success = np.zeros(n, dtype=bool)
+        for src, rows in _iter_source_groups(sources):
+            group = self._lookup_group(int(src), batch, guid_idx[rows], model)
+            rtt[rows], served[rows], used_local[rows], attempts[rows], success[rows] = group
+        if not np.all(np.isfinite(rtt)):
+            bad = int(np.flatnonzero(~np.isfinite(rtt))[0])
+            raise RoutingError(
+                f"lookup {bad} reached an unreachable replica "
+                f"(source AS {int(sources[bad])})"
+            )
+        return BatchLookupResult(rtt, served, used_local, attempts, success)
+
+    # -- one source-AS group -------------------------------------------
+    def _selection_keys(self, src: int, cand_idx: np.ndarray) -> np.ndarray:
+        """Ordering keys, identical to ``ReplicaSelector.order_candidates``."""
+        router = self.router
+        src_idx = router.topology.index_of(src)
+        if self.selection_policy == "latency":
+            # Same expression as Router.one_way_to_many (float32 row +
+            # float64 intra), so ranking ties break identically.
+            row = router.latency_row(src)
+            intra = router.intra_array
+            key = intra[src_idx] + row[cand_idx] + intra[cand_idx]
+            key[cand_idx == src_idx] = intra[src_idx]
+            return key
+        row = router.hop_row(src)
+        key = row[cand_idx].astype(np.float64)
+        key[cand_idx == src_idx] = 0.0
+        return key
+
+    def _local_branch(
+        self,
+        src: int,
+        cand: np.ndarray,
+        local_of_rows: np.ndarray,
+        model=None,
+    ) -> Tuple[np.ndarray, np.ndarray, float]:
+        """(branch_launched, local_entry, local_end) for one group.
+
+        ``branch_launched`` marks rows whose querier fired the parallel
+        local request (§III-C); ``local_entry`` the subset whose local
+        store actually holds the mapping; ``local_end`` when the local
+        reply (or its timeout) lands.
+        """
+        m = len(cand)
+        if not self.local_replica:
+            zeros = np.zeros(m, dtype=bool)
+            return zeros, zeros, 0.0
+        branch = ~(cand == src).any(axis=1)
+        if model is not None and model.is_down(src):
+            local_end = max(self.timeout_ms, 2.0 * self.router.rtt_ms(src, src))
+            return branch, np.zeros(m, dtype=bool), local_end
+        local_end = 2.0 * self.router.topology.intra_latency(src)
+        return branch, branch & (local_of_rows == src), local_end
+
+    def _lookup_group(
+        self,
+        src: int,
+        batch: GuidBatch,
+        gidx: np.ndarray,
+        model=None,
+    ) -> Tuple[np.ndarray, ...]:
+        cand = batch.placements[gidx]
+        m, k = cand.shape
+        cand_idx = self.router.indices_of(cand)
+        key = self._selection_keys(src, cand_idx)
+        rtt_all = self.router.rtt_to_many(src, cand.ravel(), strict=False)
+        rtt_all = rtt_all.reshape(m, k)
+        branch, local_entry, local_end = self._local_branch(
+            src, cand, batch.local_asns[gidx], model
+        )
+        rows = np.arange(m)
+
+        if model is None:
+            # Converged, failure-free: the best-ranked replica answers on
+            # the first attempt; only the local race remains.
+            choice = np.argmin(key, axis=1)
+            global_rtt = rtt_all[rows, choice]
+            won = local_entry & (local_end <= global_rtt)
+            rtt = np.where(won, local_end, global_rtt)
+            served = np.where(won, src, cand[rows, choice])
+            attempts = np.where(won & (local_end <= 0.0), 0, 1)
+            return rtt, served, won, attempts, np.ones(m, dtype=bool)
+
+        outcome = self._outcome_matrix(src, batch, gidx, cand, model)
+        order = np.argsort(key, axis=1, kind="stable")
+        s_cand = np.take_along_axis(cand, order, axis=1)
+        s_out = np.take_along_axis(outcome, order, axis=1)
+        s_rtt = np.take_along_axis(rtt_all, order, axis=1)
+        # Duplicate hash chains landing in one AS are a single queryable
+        # host: later occurrences are skipped at zero cost.
+        dup = np.zeros((m, k), dtype=bool)
+        for j in range(1, k):
+            dup[:, j] = (s_cand[:, :j] == s_cand[:, j : j + 1]).any(axis=1)
+        cost = np.where(
+            s_out == _TIMEOUT, np.maximum(self.timeout_ms, 2.0 * s_rtt), s_rtt
+        )
+        cost = np.where(dup, 0.0, cost)
+        hit = (~dup) & (s_out == _HIT)
+        has_hit = hit.any(axis=1)
+        first_hit = np.argmax(hit, axis=1)
+        cols = np.arange(k)
+        after = has_hit[:, None] & (cols[None, :] > first_hit[:, None])
+        walk_cost = np.where(after, 0.0, cost)
+        elapsed = np.cumsum(walk_cost, axis=1)
+        elapsed_before = elapsed - walk_cost
+        executed = (~dup) & ~after
+        walk_len = executed.sum(axis=1)
+
+        global_rtt = elapsed[rows, first_hit]
+        fail_elapsed = elapsed[:, -1]
+        won = local_entry & (~has_hit | (local_end <= global_rtt))
+        success = has_hit | local_entry
+        rtt = np.where(
+            won,
+            local_end,
+            np.where(
+                has_hit,
+                global_rtt,
+                np.where(branch, np.maximum(fail_elapsed, local_end), fail_elapsed),
+            ),
+        )
+        served = np.where(
+            won, src, np.where(has_hit, s_cand[rows, first_hit], -1)
+        )
+        early = (executed & (elapsed_before < local_end)).sum(axis=1)
+        attempts = np.where(won, early, walk_len)
+        return rtt, served, won, attempts, success
+
+    def _outcome_matrix(
+        self,
+        src: int,
+        batch: GuidBatch,
+        gidx: np.ndarray,
+        cand: np.ndarray,
+        model,
+    ) -> np.ndarray:
+        """Outcome codes per (row, replica), memoized per (AS, GUID)."""
+        m, k = cand.shape
+        out = np.empty((m, k), dtype=np.int8)
+        memo: Dict[Tuple[int, int], int] = {}
+        for r in range(m):
+            gi = int(gidx[r])
+            guid = batch.guids[gi]
+            for c in range(k):
+                asn = int(cand[r, c])
+                cached = memo.get((asn, gi))
+                if cached is None:
+                    raw = model.lookup_outcome(asn, guid)
+                    cached = _OUTCOME_CODES.get(raw)
+                    if cached is None:
+                        raise ConfigurationError(
+                            f"probe returned unknown outcome {raw!r}"
+                        )
+                    memo[(asn, gi)] = cached
+                out[r, c] = cached
+        return out
+
+
+def _iter_source_groups(sources: np.ndarray):
+    """Yield ``(source_asn, row_indices)`` per distinct source AS.
+
+    Grouping is by sorted source value; within a group the original row
+    order is preserved (stable sort), so per-row outcomes land back on
+    the right queries.
+    """
+    order = np.argsort(sources, kind="stable")
+    sorted_src = sources[order]
+    if len(sorted_src) == 0:
+        return
+    boundaries = np.flatnonzero(
+        np.r_[True, sorted_src[1:] != sorted_src[:-1]]
+    )
+    ends = np.r_[boundaries[1:], len(sorted_src)]
+    for start, end in zip(boundaries, ends):
+        yield int(sorted_src[start]), order[start:end]

@@ -24,6 +24,7 @@ SIM_CRITICAL_PACKAGES: Tuple[str, ...] = (
     "repro.sim",
     "repro.core",
     "repro.bgp",
+    "repro.fastpath",
     "repro.hashing",
     "repro.topology",
     "repro.workload",

@@ -56,10 +56,23 @@ class Router:
         self._matrix = csr_matrix(
             (weights, (rows, cols)), shape=(self.n, self.n)
         )
+        # Hop counts are *unit* weights, independent of the latency dtype:
+        # an explicit small-int matrix keeps every shortest-hop distance an
+        # exact integer (scipy widens to float64 internally, where counts
+        # up to 2**53 are exact).
         self._hop_matrix = csr_matrix(
-            (np.ones_like(weights), (rows, cols)), shape=(self.n, self.n)
+            (np.ones(len(weights), dtype=np.int8), (rows, cols)),
+            shape=(self.n, self.n),
         )
         self._intra = topology.intra_latency_array()
+        # Dense asn -> index translation for vectorized queries: ASNs are
+        # small positive integers, so a flat lookup vector replaces the
+        # per-element ``index_of`` dict probes on the hot path.
+        asns = np.asarray(topology.asns(), dtype=np.int64)
+        size = int(asns.max()) + 1 if asns.size else 1
+        self._asn_table = np.full(size, -1, dtype=np.int64)
+        if asns.size:
+            self._asn_table[asns] = np.arange(self.n, dtype=np.int64)
         self._latency_rows: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self._hop_rows: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self.dijkstra_runs = 0
@@ -136,18 +149,59 @@ class Router:
     # ------------------------------------------------------------------
     # Vectorized queries (replica selection over K candidates)
     # ------------------------------------------------------------------
+    def indices_of(self, asns: np.ndarray) -> np.ndarray:
+        """Dense indices of an ASN array (vectorized ``index_of``)."""
+        arr = np.asarray(asns, dtype=np.int64)
+        if arr.size and (
+            arr.min() < 0 or arr.max() >= len(self._asn_table)
+        ):
+            raise RoutingError("unknown AS in destination array")
+        idx = self._asn_table[arr]
+        if arr.size and int(idx.min()) < 0:
+            missing = arr[idx < 0].ravel()
+            raise RoutingError(f"unknown AS {int(missing[0])}")
+        return idx
+
     def one_way_to_many(self, src_asn: int, dst_asns: np.ndarray) -> np.ndarray:
         """One-way latencies from ``src_asn`` to an array of ASNs."""
         src_idx = self.topology.index_of(src_asn)
         row = self.latency_row(src_asn)
-        dst_idx = np.asarray(
-            [self.topology.index_of(int(a)) for a in dst_asns], dtype=np.int64
-        )
+        dst_idx = self.indices_of(dst_asns)
         path = row[dst_idx]
         result = self._intra[src_idx] + path + self._intra[dst_idx]
         same = dst_idx == src_idx
         result[same] = self._intra[src_idx]
         return result
+
+    @property
+    def intra_array(self) -> np.ndarray:
+        """Cached intra-AS latencies in dense-index order (read-only)."""
+        return self._intra
+
+    def rtt_to_many(
+        self, src_asn: int, dst_asns: np.ndarray, strict: bool = True
+    ) -> np.ndarray:
+        """Round-trip times from ``src_asn`` to an array of ASNs.
+
+        Bit-identical to looping :meth:`rtt_ms` over the array: the path
+        term is widened to float64 before the same left-to-right latency
+        sum, so the fastpath engine can assert exact equality against the
+        scalar resolver.  Raises on unreachable destinations, like the
+        scalar query; ``strict=False`` instead leaves ``inf`` in place for
+        callers that only consume a reachable subset.
+        """
+        src_idx = self.topology.index_of(src_asn)
+        dst_idx = self.indices_of(dst_asns)
+        path = self.latency_row(src_asn)[dst_idx].astype(np.float64)
+        one_way = self._intra[src_idx] + path + self._intra[dst_idx]
+        same = dst_idx == src_idx
+        one_way[same] = self._intra[src_idx]
+        if strict and not np.all(np.isfinite(one_way)):
+            bad = np.asarray(dst_asns, dtype=np.int64)[~np.isfinite(one_way)]
+            raise RoutingError(
+                f"AS {int(bad.ravel()[0])} unreachable from AS {src_asn}"
+            )
+        return 2.0 * one_way
 
     def closest_of(
         self, src_asn: int, dst_asns: np.ndarray, by: str = "latency"
@@ -170,9 +224,7 @@ class Router:
             return int(dst[pick]), float(lat[pick])
         if by == "hops":
             row = self.hop_row(src_asn)
-            idx = np.asarray(
-                [self.topology.index_of(int(a)) for a in dst], dtype=np.int64
-            )
+            idx = self.indices_of(dst)
             hops = row[idx].copy()
             hops[idx == self.topology.index_of(src_asn)] = 0
             pick = int(np.argmin(hops))

@@ -21,17 +21,20 @@ from .report import ValidationReport
 from .scenarios import generate_scenario
 
 
-def build_report(scenarios: int, seed: int, verbose: bool = False) -> ValidationReport:
+def build_report(
+    scenarios: int, seed: int, verbose: bool = False, fastpath: bool = True
+) -> ValidationReport:
     """Diff ``scenarios`` consecutive seeds starting at ``seed``."""
     report = ValidationReport()
     for offset in range(scenarios):
-        diff = diff_scenario(generate_scenario(seed + offset))
+        diff = diff_scenario(generate_scenario(seed + offset), fastpath=fastpath)
         report.add_scenario(
             diff.config_line,
             diff.lookups,
             diff.writes,
             diff.lpm_checks,
             diff.mismatches,
+            fastpath_lookups=diff.fastpath_lookups,
         )
         if verbose:
             status = "ok" if diff.clean else f"{len(diff.mismatches)} mismatches"
@@ -57,10 +60,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--verbose", action="store_true", help="per-scenario progress on stderr"
     )
+    parser.add_argument(
+        "--skip-fastpath",
+        action="store_true",
+        help="disable the fastpath-vs-resolver differential lane",
+    )
     args = parser.parse_args(argv)
     if args.scenarios <= 0:
         parser.error("--scenarios must be positive")
-    report = build_report(args.scenarios, args.seed, verbose=args.verbose)
+    report = build_report(
+        args.scenarios,
+        args.seed,
+        verbose=args.verbose,
+        fastpath=not args.skip_fastpath,
+    )
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
     else:

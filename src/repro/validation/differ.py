@@ -29,8 +29,15 @@ from ..core.consistency import handle_new_announcement, prepare_withdrawal
 from ..core.guid import GUID
 from ..core.resolver import DMapResolver
 from ..errors import LookupFailedError
+from ..fastpath import FastpathEngine
 from ..sim.simulation import DMapSimulation
 from .report import (
+    KIND_FASTPATH_ATTEMPTS,
+    KIND_FASTPATH_RTT,
+    KIND_FASTPATH_SERVED_BY,
+    KIND_FASTPATH_SUCCESS,
+    KIND_FASTPATH_USED_LOCAL,
+    KIND_FASTPATH_WRITE_RTT,
     KIND_LOOKUP_ATTEMPTS,
     KIND_LOOKUP_LOST,
     KIND_LOOKUP_RTT,
@@ -60,6 +67,22 @@ _ABS_TOL = 1e-6
 
 #: Domain separation for the LPM probe-address stream.
 _LPM_STREAM = 0x1B4D
+
+#: Per-field mismatch kinds for the DES lane and the fastpath lane.
+_SIM_LOOKUP_KINDS = {
+    "success": KIND_LOOKUP_SUCCESS,
+    "served_by": KIND_LOOKUP_SERVED_BY,
+    "used_local": KIND_LOOKUP_USED_LOCAL,
+    "attempts": KIND_LOOKUP_ATTEMPTS,
+    "rtt_ms": KIND_LOOKUP_RTT,
+}
+_FASTPATH_LOOKUP_KINDS = {
+    "success": KIND_FASTPATH_SUCCESS,
+    "served_by": KIND_FASTPATH_SERVED_BY,
+    "used_local": KIND_FASTPATH_USED_LOCAL,
+    "attempts": KIND_FASTPATH_ATTEMPTS,
+    "rtt_ms": KIND_FASTPATH_RTT,
+}
 
 
 @dataclass(frozen=True)
@@ -94,6 +117,7 @@ class ScenarioDiff:
     writes: int
     lpm_checks: int
     mismatches: Tuple[Mismatch, ...]
+    fastpath_lookups: int = 0
 
     @property
     def clean(self) -> bool:
@@ -355,14 +379,18 @@ def _diff_storage(
 
 
 def _diff_lookup(
-    seed: int, subject: str, ours: LookupOutcome, theirs: LookupOutcome
+    seed: int,
+    subject: str,
+    ours: LookupOutcome,
+    theirs: LookupOutcome,
+    kinds: Dict[str, str] = _SIM_LOOKUP_KINDS,
 ) -> List[Mismatch]:
     mismatches: List[Mismatch] = []
     if ours.success != theirs.success:
         mismatches.append(
             Mismatch(
                 seed,
-                KIND_LOOKUP_SUCCESS,
+                kinds["success"],
                 subject,
                 str(ours.success),
                 str(theirs.success),
@@ -373,7 +401,7 @@ def _diff_lookup(
         mismatches.append(
             Mismatch(
                 seed,
-                KIND_LOOKUP_SERVED_BY,
+                kinds["served_by"],
                 subject,
                 str(ours.served_by),
                 str(theirs.served_by),
@@ -383,7 +411,7 @@ def _diff_lookup(
         mismatches.append(
             Mismatch(
                 seed,
-                KIND_LOOKUP_USED_LOCAL,
+                kinds["used_local"],
                 subject,
                 str(ours.used_local),
                 str(theirs.used_local),
@@ -393,7 +421,7 @@ def _diff_lookup(
         mismatches.append(
             Mismatch(
                 seed,
-                KIND_LOOKUP_ATTEMPTS,
+                kinds["attempts"],
                 subject,
                 str(ours.attempts),
                 str(theirs.attempts),
@@ -403,7 +431,7 @@ def _diff_lookup(
         mismatches.append(
             Mismatch(
                 seed,
-                KIND_LOOKUP_RTT,
+                kinds["rtt_ms"],
                 subject,
                 f"{ours.rtt_ms:.6f}",
                 f"{theirs.rtt_ms:.6f}",
@@ -412,8 +440,131 @@ def _diff_lookup(
     return mismatches
 
 
-def diff_scenario(scenario: Scenario) -> ScenarioDiff:
-    """Run both paths on ``scenario`` and return the structured diff."""
+def fastpath_supported(scenario: Scenario) -> bool:
+    """Whether the batched engine can replay this scenario exactly.
+
+    The fastpath lane models the *converged, table-frozen* regime: BGP
+    churn mutates the prefix table mid-trace, and the ``"random"``
+    selection policy consumes a sequential per-lookup RNG stream —
+    both need the scalar oracle.
+    """
+    config = scenario.config
+    return not config.with_churn and config.selection_policy in ("latency", "hops")
+
+
+def run_fastpath(
+    scenario: Scenario,
+) -> Tuple[Dict[float, LookupOutcome], Dict[float, float]]:
+    """Replay a (no-churn) trace through the batched fastpath engine.
+
+    Returns per-lookup outcomes and per-write RTTs keyed by issue time,
+    shaped exactly like the analytic :class:`PathResult` fields so the
+    same comparison code applies.
+    """
+    table = scenario.fresh_table()
+    config = scenario.config
+    engine = FastpathEngine(
+        table,
+        scenario.router,
+        selection_policy=config.selection_policy,
+        local_replica=config.local_replica,
+        timeout_ms=config.timeout_ms,
+        placer=scenario.make_placer(table),
+    )
+    write_order: Dict[int, int] = {}
+    local_asn: Dict[int, int] = {}
+    write_ops: List = []
+    lookup_ops: List = []
+    for op in scenario.trace:
+        if op.kind in (OP_INSERT, OP_UPDATE):
+            write_order.setdefault(op.guid_value, len(write_order))
+            local_asn[op.guid_value] = op.asn
+            write_ops.append(op)
+        elif op.kind == OP_LOOKUP:
+            lookup_ops.append(op)
+    batch = engine.index_guids(
+        [GUID(value) for value in write_order],
+        [local_asn[value] for value in write_order],
+    )
+    w_rtts = engine.write_rtts(
+        batch,
+        np.asarray([write_order[op.guid_value] for op in write_ops], dtype=np.int64),
+        np.asarray([op.asn for op in write_ops], dtype=np.int64),
+    )
+    write_rtts = {op.at: float(rtt) for op, rtt in zip(write_ops, w_rtts)}
+    lookups: Dict[float, LookupOutcome] = {}
+    if lookup_ops:
+        result = engine.lookup_batch(
+            batch,
+            np.asarray(
+                [write_order[op.guid_value] for op in lookup_ops], dtype=np.int64
+            ),
+            np.asarray([op.asn for op in lookup_ops], dtype=np.int64),
+            availability=scenario.availability,
+        )
+        for i, op in enumerate(lookup_ops):
+            success = bool(result.success[i])
+            lookups[op.at] = LookupOutcome(
+                success=success,
+                served_by=int(result.served_by[i]) if success else None,
+                used_local=bool(result.used_local[i]),
+                attempts=int(result.attempts[i]),
+                rtt_ms=float(result.rtt_ms[i]),
+            )
+    return lookups, write_rtts
+
+
+def _diff_fastpath(
+    scenario: Scenario, analytic: PathResult, ops_by_time: Dict[float, object]
+) -> Tuple[List[Mismatch], int]:
+    """Fastpath lane: batched engine vs the analytic oracle."""
+    seed = scenario.config.seed
+    fp_lookups, fp_writes = run_fastpath(scenario)
+    mismatches: List[Mismatch] = []
+    for at in sorted(analytic.lookups):
+        op = ops_by_time[at]
+        subject = f"guid={op.guid_value:#x} querier={op.asn} t={at:g}"
+        ours = analytic.lookups[at]
+        theirs = fp_lookups.get(at)
+        if theirs is None:
+            mismatches.append(
+                Mismatch(
+                    seed,
+                    KIND_FASTPATH_SUCCESS,
+                    subject,
+                    analytic=f"success={ours.success}",
+                    simulated="no record (lookup missing from batch)",
+                )
+            )
+            continue
+        mismatches.extend(
+            _diff_lookup(seed, subject, ours, theirs, kinds=_FASTPATH_LOOKUP_KINDS)
+        )
+    for at in sorted(analytic.write_rtts):
+        op = ops_by_time[at]
+        subject = f"guid={op.guid_value:#x} source={op.asn} t={at:g}"
+        ours_rtt = analytic.write_rtts[at]
+        theirs_rtt = fp_writes.get(at)
+        if theirs_rtt is None or not _close(ours_rtt, theirs_rtt):
+            mismatches.append(
+                Mismatch(
+                    seed,
+                    KIND_FASTPATH_WRITE_RTT,
+                    subject,
+                    f"{ours_rtt:.6f}",
+                    "no record" if theirs_rtt is None else f"{theirs_rtt:.6f}",
+                )
+            )
+    return mismatches, len(fp_lookups)
+
+
+def diff_scenario(scenario: Scenario, fastpath: bool = True) -> ScenarioDiff:
+    """Run both paths on ``scenario`` and return the structured diff.
+
+    ``fastpath`` additionally replays supported scenarios (no churn,
+    deterministic selection policy) through the batched engine and diffs
+    it against the analytic resolver — three-way validation.
+    """
     seed = scenario.config.seed
     analytic = run_analytic(scenario)
     simulated = run_simulation(scenario)
@@ -479,6 +630,13 @@ def diff_scenario(scenario: Scenario) -> ScenarioDiff:
     lpm_mismatches, lpm_checks = _diff_lpm(scenario, analytic)
     mismatches.extend(lpm_mismatches)
 
+    fastpath_lookups = 0
+    if fastpath and fastpath_supported(scenario):
+        fastpath_mismatches, fastpath_lookups = _diff_fastpath(
+            scenario, analytic, ops_by_time
+        )
+        mismatches.extend(fastpath_mismatches)
+
     return ScenarioDiff(
         seed=seed,
         config_line=scenario.config.describe(),
@@ -486,4 +644,5 @@ def diff_scenario(scenario: Scenario) -> ScenarioDiff:
         writes=scenario.n_write_ops,
         lpm_checks=lpm_checks,
         mismatches=tuple(mismatches),
+        fastpath_lookups=fastpath_lookups,
     )

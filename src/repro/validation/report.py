@@ -23,6 +23,14 @@ KIND_WRITE_RTT = "write.rtt"
 KIND_STORAGE = "storage"
 KIND_TABLE = "table"
 KIND_LPM = "lpm"
+#: Fastpath-lane kinds: the batched engine diffed against the analytic
+#: resolver (its oracle) on the same scenario.
+KIND_FASTPATH_SUCCESS = "fastpath.success"
+KIND_FASTPATH_SERVED_BY = "fastpath.served_by"
+KIND_FASTPATH_USED_LOCAL = "fastpath.used_local"
+KIND_FASTPATH_ATTEMPTS = "fastpath.attempts"
+KIND_FASTPATH_RTT = "fastpath.rtt"
+KIND_FASTPATH_WRITE_RTT = "fastpath.write_rtt"
 
 
 @dataclass(frozen=True)
@@ -70,6 +78,7 @@ class ValidationReport:
     lookups: int = 0
     writes: int = 0
     lpm_checks: int = 0
+    fastpath_lookups: int = 0
     mismatches: List[Mismatch] = field(default_factory=list)
     configs: List[str] = field(default_factory=list)
 
@@ -80,12 +89,14 @@ class ValidationReport:
         writes: int,
         lpm_checks: int,
         mismatches: Tuple[Mismatch, ...],
+        fastpath_lookups: int = 0,
     ) -> None:
         """Fold one scenario's diff into the aggregate."""
         self.scenarios += 1
         self.lookups += lookups
         self.writes += writes
         self.lpm_checks += lpm_checks
+        self.fastpath_lookups += fastpath_lookups
         self.mismatches.extend(mismatches)
         if mismatches:
             self.configs.append(config_line)
@@ -112,7 +123,8 @@ class ValidationReport:
         lines = [
             f"repro.validation: {self.scenarios} scenarios, "
             f"{self.lookups} lookups, {self.writes} writes, "
-            f"{self.lpm_checks} LPM probes — "
+            f"{self.lpm_checks} LPM probes, "
+            f"{self.fastpath_lookups} fastpath lookups — "
             + (
                 "all paths agree"
                 if self.clean
@@ -147,6 +159,7 @@ class ValidationReport:
             "lookups": self.lookups,
             "writes": self.writes,
             "lpm_checks": self.lpm_checks,
+            "fastpath_lookups": self.fastpath_lookups,
             "clean": self.clean,
             "reproducer_seeds": self.reproducer_seeds(),
             "mismatches": [

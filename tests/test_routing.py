@@ -146,3 +146,73 @@ class TestConsistency:
             direct = router.path_latency_ms(a, c)
             via = router.path_latency_ms(a, b) + router.path_latency_ms(b, c)
             assert direct <= via + 1e-6
+
+
+class TestVectorizedQueries:
+    """Dense asn->index translation, batch RTTs, exact-integer hops."""
+
+    @pytest.fixture(scope="class")
+    def gap_router(self):
+        # Non-contiguous ASNs so the dense lookup table has real holes.
+        topo = ASTopology()
+        for asn in (10, 20, 40):
+            topo.add_as(ASInfo(asn, intra_latency_ms=0.5, endnodes=1))
+        topo.add_link(10, 20, 4.0)
+        topo.add_link(20, 40, 6.0)
+        return Router(topo)
+
+    def test_indices_of_matches_index_of(self, gap_router):
+        out = gap_router.indices_of(np.array([40, 10, 20, 10]))
+        expected = [gap_router.topology.index_of(a) for a in (40, 10, 20, 10)]
+        assert out.tolist() == expected
+
+    def test_indices_of_preserves_shape(self, gap_router):
+        out = gap_router.indices_of(np.array([[10, 20], [40, 10]]))
+        assert out.shape == (2, 2)
+
+    def test_indices_of_unknown_raises(self, gap_router):
+        for bogus in (30, 41, -1, 10_000):
+            with pytest.raises(RoutingError, match="unknown AS"):
+                gap_router.indices_of(np.array([10, bogus]))
+
+    def test_rtt_to_many_bitwise_equals_scalar(self, router, asns, rng):
+        src = int(rng.choice(asns))
+        dst = np.asarray(rng.choice(asns, size=64), dtype=np.int64)
+        batch = router.rtt_to_many(src, dst)
+        scalar = [router.rtt_ms(src, int(d)) for d in dst]
+        # Exact float equality, not approx: the fastpath engine relies on
+        # the two code paths producing identical bits.
+        assert batch.tolist() == scalar
+
+    def test_rtt_to_many_same_as_is_intra_only(self, gap_router):
+        out = gap_router.rtt_to_many(20, np.array([20]))
+        assert out.tolist() == [2.0 * 0.5]
+
+    def test_rtt_to_many_unreachable(self):
+        topo = ASTopology()
+        for asn in (1, 2, 3):
+            topo.add_as(ASInfo(asn, intra_latency_ms=1.0, endnodes=1))
+        topo.add_link(1, 2, 5.0)  # AS 3 is isolated
+        router = Router(topo)
+        with pytest.raises(RoutingError, match="unreachable"):
+            router.rtt_to_many(1, np.array([2, 3]))
+        relaxed = router.rtt_to_many(1, np.array([2, 3]), strict=False)
+        assert np.isfinite(relaxed[0])
+        assert np.isinf(relaxed[1])
+
+    def test_hop_rows_are_exact_integers(self, router, asns):
+        row = router.hop_row(int(asns[0]))
+        finite = np.isfinite(row)
+        assert np.array_equal(row[finite], np.round(row[finite]))
+
+    def test_hops_exact_integers_on_line(self):
+        router = Router(line_fixture(n=9, link_ms=0.1, intra_ms=0.01))
+        # Sub-millisecond float weights must not leak into hop counts.
+        for dst in range(2, 10):
+            hops = router.hops(1, dst)
+            assert isinstance(hops, int)
+            assert hops == dst - 1
+
+    def test_hop_matrix_uses_unit_integer_weights(self, router):
+        assert router._hop_matrix.dtype == np.int8
+        assert set(np.unique(router._hop_matrix.data).tolist()) == {1}
