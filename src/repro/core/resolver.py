@@ -32,6 +32,16 @@ from ..bgp.table import GlobalPrefixTable
 from ..errors import ConfigurationError, LookupFailedError, MappingNotFoundError
 from ..hashing.hashers import HashFamily, Sha256Hasher
 from ..hashing.rehash import DEFAULT_MAX_REHASHES, GuidPlacer
+from ..obs.trace import (
+    FAILURE_EXHAUSTED,
+    NULL_TRACER,
+    AttemptTrace,
+    PlacementRecord,
+    QueryTrace,
+    Tracer,
+    hash_index_of,
+    placement_records,
+)
 from ..topology.routing import Router
 from .guid import GUID, NetworkAddress, guid_like
 from .mapping import MappingEntry, MappingStore
@@ -130,6 +140,9 @@ class DMapResolver:
         ``resolve_one``, ``resolve_all`` and ``hosting_asns`` (e.g. the
         §VII variants in :mod:`repro.hashing.asnum_placer`).  Defaults to
         address-space hashing (Algorithm 1).
+    tracer:
+        Per-query trace sink (:mod:`repro.obs`).  Defaults to the shared
+        no-op tracer, which the lookup path checks once per call.
     """
 
     def __init__(
@@ -144,6 +157,7 @@ class DMapResolver:
         timeout_ms: float = DEFAULT_TIMEOUT_MS,
         selection_rng: Optional[np.random.Generator] = None,
         placer=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if timeout_ms <= 0:
             raise ConfigurationError("timeout_ms must be positive")
@@ -154,6 +168,8 @@ class DMapResolver:
         self.selector = ReplicaSelector(router, selection_policy, selection_rng)
         self.local_replica = local_replica
         self.timeout_ms = timeout_ms
+        # Explicit None check: an empty CollectingTracer is falsy (len 0).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stores: Dict[int, MappingStore] = {}
         # Instrumentation: current placement of every inserted GUID.  Real
         # DMap routers derive this statelessly; the registry exists so
@@ -260,6 +276,7 @@ class DMapResolver:
         source_asn: int,
         probe: Optional[AvailabilityProbe] = None,
         is_down: Optional[Callable[[int], bool]] = None,
+        time: float = 0.0,
     ) -> LookupResult:
         """GUID Lookup from a host attached to ``source_asn``.
 
@@ -292,12 +309,21 @@ class DMapResolver:
             local miss (or local timeout, when the source AS is down).
         """
         guid = guid_like(guid)
-        candidates = self.placer.hosting_asns(guid)
+        tracing = self.tracer.enabled
+        placement: Tuple[PlacementRecord, ...] = ()
+        if tracing:
+            # The placement records carry the Algorithm 1 provenance the
+            # trace wants; their ASNs are exactly ``hosting_asns``.
+            placement = placement_records(self.placer, guid)
+            candidates: Sequence[int] = [record.asn for record in placement]
+        else:
+            candidates = self.placer.hosting_asns(guid)
         ordered = self.selector.order_candidates(source_asn, candidates)
 
         # Parallel local branch: a same-AS copy answers in the intra-AS RTT.
         local_end: Optional[float] = None
         local_entry: Optional[MappingEntry] = None
+        local_outcome: Optional[str] = None
         # Churn staleness does not affect the local branch: the querier and
         # the local store share one BGP view (same convention as the DES).
         if self.local_replica and source_asn not in ordered:
@@ -308,15 +334,25 @@ class DMapResolver:
                     self.timeout_ms,
                     2.0 * self.router.rtt_ms(source_asn, source_asn),
                 )
+                local_outcome = OUTCOME_TIMEOUT
             else:
                 local_entry = self.store_at(source_asn).get(guid)
                 local_end = 2.0 * self.router.topology.intra_latency(source_asn)
+                local_outcome = (
+                    OUTCOME_HIT if local_entry is not None else OUTCOME_MISSING
+                )
 
         attempts: List[Attempt] = []
         elapsed = 0.0
         for asn in ordered:
             if local_entry is not None and local_end <= elapsed:
                 # The local reply arrived before this attempt was sent.
+                if tracing:
+                    self._emit_lookup_trace(
+                        guid, source_asn, time, placement, attempts,
+                        local_outcome, local_end, True, source_asn,
+                        local_end, None,
+                    )
                 return LookupResult(
                     local_entry, local_end, source_asn, tuple(attempts), True
                 )
@@ -335,8 +371,19 @@ class DMapResolver:
                 attempts.append(Attempt(asn, OUTCOME_HIT, rtt))
                 if local_entry is not None and local_end <= elapsed:
                     # The parallel local query answered first (§III-C).
+                    if tracing:
+                        self._emit_lookup_trace(
+                            guid, source_asn, time, placement, attempts,
+                            local_outcome, local_end, True, source_asn,
+                            local_end, None,
+                        )
                     return LookupResult(
                         local_entry, local_end, source_asn, tuple(attempts), True
+                    )
+                if tracing:
+                    self._emit_lookup_trace(
+                        guid, source_asn, time, placement, attempts,
+                        local_outcome, local_end, False, asn, elapsed, None,
                     )
                 return LookupResult(entry, elapsed, asn, tuple(attempts), False)
             if outcome == OUTCOME_MISSING:
@@ -353,6 +400,11 @@ class DMapResolver:
                 raise ConfigurationError(f"probe returned unknown outcome {outcome!r}")
 
         if local_entry is not None:
+            if tracing:
+                self._emit_lookup_trace(
+                    guid, source_asn, time, placement, attempts,
+                    local_outcome, local_end, True, source_asn, local_end, None,
+                )
             return LookupResult(
                 local_entry, local_end, source_asn, tuple(attempts), True
             )
@@ -360,7 +412,55 @@ class DMapResolver:
             # The local branch ran but answered "missing" (or its timer
             # expired): the lookup fails when the later branch ends.
             elapsed = max(elapsed, local_end)
+        if tracing:
+            self._emit_lookup_trace(
+                guid, source_asn, time, placement, attempts,
+                local_outcome, local_end, False, None, elapsed,
+                FAILURE_EXHAUSTED,
+            )
         raise LookupFailedError(guid, elapsed, len(attempts))
+
+    def _emit_lookup_trace(
+        self,
+        guid: GUID,
+        source_asn: int,
+        issued_at: float,
+        placement: Tuple[PlacementRecord, ...],
+        attempts: Sequence[Attempt],
+        local_outcome: Optional[str],
+        local_end: Optional[float],
+        used_local: bool,
+        served_by: Optional[int],
+        rtt_ms: float,
+        failure_cause: Optional[str],
+    ) -> None:
+        """Build and record the :class:`QueryTrace` for one lookup."""
+        self.tracer.record(
+            QueryTrace(
+                guid_value=guid.value,
+                source_asn=source_asn,
+                issued_at=issued_at,
+                k=len(placement),
+                placement=placement,
+                attempts=tuple(
+                    AttemptTrace(
+                        attempt.asn,
+                        hash_index_of(placement, attempt.asn),
+                        attempt.outcome,
+                        attempt.cost_ms,
+                    )
+                    for attempt in attempts
+                ),
+                local_launched=local_end is not None,
+                local_outcome=local_outcome,
+                local_end_ms=local_end,
+                used_local=used_local,
+                served_by=served_by,
+                rtt_ms=rtt_ms,
+                success=failure_cause is None,
+                failure_cause=failure_cause,
+            )
+        )
 
     def _lazy_migrate(self, guid: GUID, asn: int) -> None:
         """§III-D.1 lazy pull after a genuine miss at a hosting AS.

@@ -76,6 +76,14 @@ def main(argv: Optional[list] = None) -> int:
         help="worker processes for the fastpath shard runner (fig4 only; "
         "0 = all cores)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write per-query JSONL traces (plus a run manifest) there "
+        "(fig4 only; forces --jobs 1); summarize later with "
+        "'python -m repro.obs summarize-traces PATH'",
+    )
     args = parser.parse_args(argv)
     if args.jobs == 0:
         from ..fastpath.runner import default_jobs
@@ -83,6 +91,8 @@ def main(argv: Optional[list] = None) -> int:
         args.jobs = default_jobs()
 
     name = ALIASES.get(args.experiment, args.experiment)
+    if args.trace is not None and name != "fig4":
+        parser.error("--trace is only supported by fig4")
     if name == "all":
         for key in EXPERIMENTS:
             print(f"=== {key} ===")
@@ -94,7 +104,10 @@ def main(argv: Optional[list] = None) -> int:
         parser.error(f"unknown experiment {args.experiment!r}")
     if name == "fig4":
         fig4_response_time.main(
-            args.scale, engine=args.engine or "scalar", n_jobs=args.jobs
+            args.scale,
+            engine=args.engine or "scalar",
+            n_jobs=args.jobs,
+            trace_path=args.trace,
         )
     elif name == "fig6":
         fig6_load.main(args.scale, engine=args.engine or "bulk")

@@ -79,6 +79,7 @@ def run_fig4(
     workload_override: Optional[WorkloadConfig] = None,
     engine: str = "scalar",
     n_jobs: int = 1,
+    trace_path: Optional[str] = None,
 ) -> Fig4Result:
     """Run the Fig. 4 experiment.
 
@@ -89,56 +90,98 @@ def run_fig4(
     batches the lookup pipeline through
     :class:`~repro.fastpath.engine.FastpathEngine` (bit-identical RTTs;
     ``n_jobs`` shards source-AS groups across processes).
+
+    ``trace_path`` writes a canonical JSONL per-query trace file there
+    (plus a run manifest at ``<trace_path>.manifest.json``), from which
+    ``python -m repro.obs summarize-traces`` reconstructs this report.
+    Tracing forces single-process execution: per-query traces cannot
+    cross process shards.
     """
+    from ..obs.export import metrics_report, write_traces
+    from ..obs.manifest import RunManifest, manifest_path_for
+    from ..obs.trace import NULL_TRACER, CollectingTracer
+
     env = environment or get_environment(scale, seed)
     workload_config = workload_override or WorkloadConfig(
         n_guids=env.scale.n_guids, n_lookups=env.scale.n_lookups, seed=seed
     )
     workload = WorkloadGenerator(env.topology, workload_config).generate()
 
+    tracing = trace_path is not None
+    tracer = CollectingTracer() if tracing else NULL_TRACER
+    if tracing:
+        n_jobs = 1
+    manifest = RunManifest(
+        experiment="fig4",
+        config={
+            "scale": env.scale.name,
+            "seed": seed,
+            "k_values": list(k_values),
+            "engine": "simulation" if use_simulation else engine,
+            "local_replica": local_replica,
+            "selection_policy": selection_policy,
+            "n_guids": workload_config.n_guids,
+            "n_lookups": workload_config.n_lookups,
+        },
+    )
+
     rtts_by_k: Dict[int, np.ndarray] = {}
     local_hits: Dict[int, float] = {}
     failed_by_k: Dict[int, int] = {}
     for k in k_values:
-        if use_simulation:
-            sim = DMapSimulation(
-                env.topology,
-                env.table,
-                k=k,
-                router=env.router,
-                local_replica=local_replica,
-                selection_policy=selection_policy,
-                seed=seed,
-            )
-            workload.apply_to_simulation(sim, env.table)
-            sim.run()
-            rtts_by_k[k] = sim.metrics.rtts()
-            local_hits[k] = sim.metrics.local_hit_fraction()
-            failed_by_k[k] = len(sim.metrics.failed)
-        else:
-            resolver = DMapResolver(
-                env.table,
-                env.router,
-                k=k,
-                local_replica=local_replica,
-                selection_policy=selection_policy,
-            )
-            rtts = workload.run_through_resolver(
-                resolver, env.table, engine=engine, n_jobs=n_jobs
-            )
-            rtts_by_k[k] = np.asarray(rtts, dtype=float)
-            local_hits[k] = float("nan")
-            # The instant resolver retries whole replica-set rounds until
-            # the lookup succeeds, so this path records no failures.
-            failed_by_k[k] = 0
+        with manifest.phase(f"k={k}"):
+            if use_simulation:
+                sim = DMapSimulation(
+                    env.topology,
+                    env.table,
+                    k=k,
+                    router=env.router,
+                    local_replica=local_replica,
+                    selection_policy=selection_policy,
+                    seed=seed,
+                    tracer=tracer,
+                )
+                workload.apply_to_simulation(sim, env.table)
+                sim.run()
+                rtts_by_k[k] = sim.metrics.rtts()
+                local_hits[k] = sim.metrics.local_hit_fraction()
+                failed_by_k[k] = len(sim.metrics.failed)
+            else:
+                resolver = DMapResolver(
+                    env.table,
+                    env.router,
+                    k=k,
+                    local_replica=local_replica,
+                    selection_policy=selection_policy,
+                    tracer=tracer,
+                )
+                rtts = workload.run_through_resolver(
+                    resolver, env.table, engine=engine, n_jobs=n_jobs
+                )
+                rtts_by_k[k] = np.asarray(rtts, dtype=float)
+                local_hits[k] = float("nan")
+                # The instant resolver retries whole replica-set rounds
+                # until the lookup succeeds, so this path records no
+                # failures.
+                failed_by_k[k] = 0
+    if tracing:
+        with manifest.phase("export"):
+            count = write_traces(trace_path, tracer.traces)
+            manifest.extra["trace_file"] = trace_path
+            manifest.extra["trace_count"] = count
+            manifest.extra["metrics"] = metrics_report(tracer.traces)
+        manifest.write(manifest_path_for(trace_path))
     return Fig4Result(env.scale.name, rtts_by_k, local_hits, failed_by_k)
 
 
 def main(
-    scale: Optional[str] = None, engine: str = "scalar", n_jobs: int = 1
+    scale: Optional[str] = None,
+    engine: str = "scalar",
+    n_jobs: int = 1,
+    trace_path: Optional[str] = None,
 ) -> Fig4Result:
     """CLI entry point: run and print."""
-    result = run_fig4(scale, engine=engine, n_jobs=n_jobs)
+    result = run_fig4(scale, engine=engine, n_jobs=n_jobs, trace_path=trace_path)
     print(result.render())
     return result
 

@@ -48,8 +48,17 @@ from ..core.resolver import (
 from ..errors import ConfigurationError, DMapError, RoutingError
 from ..hashing.hashers import HashFamily, Sha256Hasher
 from ..hashing.rehash import DEFAULT_MAX_REHASHES, GuidPlacer
+from ..obs.trace import (
+    FAILURE_EXHAUSTED,
+    NULL_TRACER,
+    AttemptTrace,
+    PlacementRecord,
+    QueryTrace,
+    Tracer,
+    hash_index_of,
+)
 from ..topology.routing import Router
-from .placement import batch_hosting_asns
+from .placement import batch_resolutions
 
 #: Selection policies the batch engine reproduces exactly.
 SUPPORTED_POLICIES = ("latency", "hops")
@@ -61,6 +70,7 @@ _OUTCOME_CODES = {
     OUTCOME_MISSING: _MISSING,
     OUTCOME_TIMEOUT: _TIMEOUT,
 }
+_CODE_OUTCOMES = {code: name for name, code in _OUTCOME_CODES.items()}
 
 
 class FastpathUnsupportedError(DMapError):
@@ -95,11 +105,31 @@ class GuidBatch:
     local_asns:
         Current attachment AS per GUID (where the §III-C local copy
         lives), or ``-1`` when the GUID has no local copy.
+    hash_attempts / via_deputy:
+        ``(len(guids), K)`` Algorithm 1 provenance planes (hash
+        applications per chain; deputy-fallback flag), matching the
+        scalar placer's ``resolve_all`` exactly.
     """
 
     guids: List[GUID]
     placements: np.ndarray
     local_asns: np.ndarray
+    hash_attempts: Optional[np.ndarray] = None
+    via_deputy: Optional[np.ndarray] = None
+
+    def placement_records(self, guid_index: int) -> Tuple[PlacementRecord, ...]:
+        """The trace-layer placement view of one indexed GUID."""
+        asns = self.placements[guid_index]
+        if self.hash_attempts is None or self.via_deputy is None:
+            return tuple(PlacementRecord(int(asn), 1, False) for asn in asns)
+        return tuple(
+            PlacementRecord(
+                int(asn),
+                int(self.hash_attempts[guid_index, j]),
+                bool(self.via_deputy[guid_index, j]),
+            )
+            for j, asn in enumerate(asns)
+        )
 
 
 @dataclass
@@ -134,6 +164,7 @@ class FastpathEngine:
         max_rehashes: int = DEFAULT_MAX_REHASHES,
         timeout_ms: float = DEFAULT_TIMEOUT_MS,
         placer=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if timeout_ms <= 0:
             raise ConfigurationError("timeout_ms must be positive")
@@ -149,6 +180,8 @@ class FastpathEngine:
         self.selection_policy = selection_policy
         self.local_replica = local_replica
         self.timeout_ms = timeout_ms
+        # Explicit None check: an empty CollectingTracer is falsy (len 0).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._interval = None
 
     @classmethod
@@ -161,6 +194,7 @@ class FastpathEngine:
             local_replica=resolver.local_replica,
             timeout_ms=resolver.timeout_ms,
             placer=resolver.placer,
+            tracer=resolver.tracer,
         )
 
     @property
@@ -186,7 +220,9 @@ class FastpathEngine:
         values = [g.value for g in glist]
         if self._interval is None and isinstance(self.placer, GuidPlacer):
             self._interval = self.placer.table.build_interval_index()
-        placements = batch_hosting_asns(self.placer, values, self._interval)
+        placements, hash_attempts, via_deputy = batch_resolutions(
+            self.placer, values, self._interval
+        )
         if local_asns is None:
             local = np.full(len(glist), -1, dtype=np.int64)
         else:
@@ -195,7 +231,7 @@ class FastpathEngine:
                 raise ConfigurationError(
                     "local_asns must align one-to-one with guids"
                 )
-        return GuidBatch(glist, placements, local)
+        return GuidBatch(glist, placements, local, hash_attempts, via_deputy)
 
     # ------------------------------------------------------------------
     # Write path (accounting only — the engine keeps no stores)
@@ -226,6 +262,7 @@ class FastpathEngine:
         sources: np.ndarray,
         availability=None,
         n_jobs: int = 1,
+        issued_at: Optional[np.ndarray] = None,
     ) -> BatchLookupResult:
         """Resolve many lookups; row ``i`` queries ``batch.guids[guid_idx[i]]``
         from AS ``sources[i]``.
@@ -236,6 +273,8 @@ class FastpathEngine:
         must be deterministic per (AS, GUID) so batch evaluation order
         cannot change outcomes.  ``n_jobs > 1`` shards source-AS groups
         across worker processes (availability-free workloads only).
+        ``issued_at`` stamps each lookup's issue time onto its emitted
+        trace (tracing only; the arithmetic itself is time-free).
         """
         guid_idx = np.asarray(guid_idx, dtype=np.int64)
         sources = np.asarray(sources, dtype=np.int64)
@@ -249,10 +288,15 @@ class FastpathEngine:
                 raise FastpathUnsupportedError(
                     "sharded execution supports availability-free workloads only"
                 )
+            if self.tracer.enabled:
+                raise FastpathUnsupportedError(
+                    "per-query traces cannot cross process shards; "
+                    "run tracing with n_jobs=1"
+                )
             from .runner import run_sharded
 
             return run_sharded(self, batch, guid_idx, sources, n_jobs)
-        return self._lookup_serial(batch, guid_idx, sources, model)
+        return self._lookup_serial(batch, guid_idx, sources, model, issued_at)
 
     def _lookup_serial(
         self,
@@ -260,6 +304,7 @@ class FastpathEngine:
         guid_idx: np.ndarray,
         sources: np.ndarray,
         model=None,
+        issued_at: Optional[np.ndarray] = None,
     ) -> BatchLookupResult:
         n = len(guid_idx)
         rtt = np.empty(n, dtype=np.float64)
@@ -267,15 +312,44 @@ class FastpathEngine:
         used_local = np.zeros(n, dtype=bool)
         attempts = np.zeros(n, dtype=np.int64)
         success = np.zeros(n, dtype=bool)
+        tracing = self.tracer.enabled
+        trace_slots: List[Optional[QueryTrace]] = [None] * n if tracing else []
+        times = None
+        if tracing:
+            times = (
+                np.zeros(n, dtype=np.float64)
+                if issued_at is None
+                else np.asarray(issued_at, dtype=np.float64)
+            )
+            if times.shape != (n,):
+                raise ConfigurationError(
+                    "issued_at must align one-to-one with guid_idx"
+                )
+        placement_cache: Dict[int, Tuple[PlacementRecord, ...]] = {}
         for src, rows in _iter_source_groups(sources):
-            group = self._lookup_group(int(src), batch, guid_idx[rows], model)
-            rtt[rows], served[rows], used_local[rows], attempts[rows], success[rows] = group
+            group = self._lookup_group(
+                int(src),
+                batch,
+                guid_idx[rows],
+                model,
+                issued_at=times[rows] if tracing else None,
+                placement_cache=placement_cache if tracing else None,
+            )
+            rtt[rows], served[rows], used_local[rows], attempts[rows], success[rows] = group[:5]
+            if tracing:
+                for offset, row in enumerate(rows):
+                    trace_slots[int(row)] = group[5][offset]
         if not np.all(np.isfinite(rtt)):
             bad = int(np.flatnonzero(~np.isfinite(rtt))[0])
             raise RoutingError(
                 f"lookup {bad} reached an unreachable replica "
                 f"(source AS {int(sources[bad])})"
             )
+        # Emit in input-row order so raw emission order matches the
+        # workload's issue order (the canonical JSONL sort is on top).
+        for trace in trace_slots:
+            if trace is not None:
+                self.tracer.record(trace)
         return BatchLookupResult(rtt, served, used_local, attempts, success)
 
     # -- one source-AS group -------------------------------------------
@@ -327,7 +401,9 @@ class FastpathEngine:
         batch: GuidBatch,
         gidx: np.ndarray,
         model=None,
-    ) -> Tuple[np.ndarray, ...]:
+        issued_at: Optional[np.ndarray] = None,
+        placement_cache: Optional[Dict[int, Tuple[PlacementRecord, ...]]] = None,
+    ) -> Tuple[object, ...]:
         cand = batch.placements[gidx]
         m, k = cand.shape
         cand_idx = self.router.indices_of(cand)
@@ -338,6 +414,7 @@ class FastpathEngine:
             src, cand, batch.local_asns[gidx], model
         )
         rows = np.arange(m)
+        tracing = placement_cache is not None
 
         if model is None:
             # Converged, failure-free: the best-ranked replica answers on
@@ -348,7 +425,15 @@ class FastpathEngine:
             rtt = np.where(won, local_end, global_rtt)
             served = np.where(won, src, cand[rows, choice])
             attempts = np.where(won & (local_end <= 0.0), 0, 1)
-            return rtt, served, won, attempts, np.ones(m, dtype=bool)
+            result = (rtt, served, won, attempts, np.ones(m, dtype=bool))
+            if not tracing:
+                return result
+            traces = self._group_traces_converged(
+                src, batch, gidx, cand, choice, global_rtt, branch,
+                local_entry, local_end, won, rtt, served,
+                issued_at, placement_cache,
+            )
+            return result + (traces,)
 
         outcome = self._outcome_matrix(src, batch, gidx, cand, model)
         order = np.argsort(key, axis=1, kind="stable")
@@ -393,7 +478,175 @@ class FastpathEngine:
         )
         early = (executed & (elapsed_before < local_end)).sum(axis=1)
         attempts = np.where(won, early, walk_len)
-        return rtt, served, won, attempts, success
+        result = (rtt, served, won, attempts, success)
+        if not tracing:
+            return result
+        traces = self._group_traces_walk(
+            src, batch, gidx, s_cand, s_out, cost, executed, elapsed_before,
+            won, branch, local_entry, local_end, rtt, served, success, model,
+            issued_at, placement_cache,
+        )
+        return result + (traces,)
+
+    # -- trace reconstruction (tracing runs only) ----------------------
+    def _placement_of(
+        self,
+        batch: GuidBatch,
+        guid_index: int,
+        cache: Dict[int, Tuple[PlacementRecord, ...]],
+    ) -> Tuple[PlacementRecord, ...]:
+        placement = cache.get(guid_index)
+        if placement is None:
+            placement = batch.placement_records(guid_index)
+            cache[guid_index] = placement
+        return placement
+
+    def _group_traces_converged(
+        self,
+        src: int,
+        batch: GuidBatch,
+        gidx: np.ndarray,
+        cand: np.ndarray,
+        choice: np.ndarray,
+        global_rtt: np.ndarray,
+        branch: np.ndarray,
+        local_entry: np.ndarray,
+        local_end: float,
+        won: np.ndarray,
+        rtt: np.ndarray,
+        served: np.ndarray,
+        issued_at: np.ndarray,
+        placement_cache: Dict[int, Tuple[PlacementRecord, ...]],
+    ) -> List[QueryTrace]:
+        """Traces for the model-free fast path (one hit, plus the race).
+
+        Mirrors the scalar walk exactly: the best-ranked replica's hit is
+        the only attempt, and it is part of the trace unless the local
+        reply landed before the walk could even start (``local_end <= 0``).
+        """
+        traces: List[QueryTrace] = []
+        for r in range(len(gidx)):
+            gi = int(gidx[r])
+            placement = self._placement_of(batch, gi, placement_cache)
+            launched = bool(branch[r])
+            won_r = bool(won[r])
+            if won_r and local_end <= 0.0:
+                attempt_records: Tuple[AttemptTrace, ...] = ()
+            else:
+                asn = int(cand[r, choice[r]])
+                attempt_records = (
+                    AttemptTrace(
+                        asn,
+                        hash_index_of(placement, asn),
+                        OUTCOME_HIT,
+                        float(global_rtt[r]),
+                    ),
+                )
+            local_outcome = None
+            if launched:
+                local_outcome = (
+                    OUTCOME_HIT if bool(local_entry[r]) else OUTCOME_MISSING
+                )
+            traces.append(
+                QueryTrace(
+                    guid_value=batch.guids[gi].value,
+                    source_asn=src,
+                    issued_at=float(issued_at[r]),
+                    k=len(placement),
+                    placement=placement,
+                    attempts=attempt_records,
+                    local_launched=launched,
+                    local_outcome=local_outcome,
+                    local_end_ms=float(local_end) if launched else None,
+                    used_local=won_r,
+                    served_by=int(served[r]),
+                    rtt_ms=float(rtt[r]),
+                    success=True,
+                    failure_cause=None,
+                )
+            )
+        return traces
+
+    def _group_traces_walk(
+        self,
+        src: int,
+        batch: GuidBatch,
+        gidx: np.ndarray,
+        s_cand: np.ndarray,
+        s_out: np.ndarray,
+        cost: np.ndarray,
+        executed: np.ndarray,
+        elapsed_before: np.ndarray,
+        won: np.ndarray,
+        branch: np.ndarray,
+        local_entry: np.ndarray,
+        local_end: float,
+        rtt: np.ndarray,
+        served: np.ndarray,
+        success: np.ndarray,
+        model,
+        issued_at: np.ndarray,
+        placement_cache: Dict[int, Tuple[PlacementRecord, ...]],
+    ) -> List[QueryTrace]:
+        """Traces for the availability-model walk.
+
+        An attempt made it into the scalar trace iff the walk issued it:
+        non-duplicate, at or before the first hit, and — when the local
+        race won — issued strictly before the local reply landed.  That
+        is exactly ``executed`` (and the ``elapsed_before < local_end``
+        refinement for won rows), so the reconstructed streams match the
+        scalar resolver's record for record.
+        """
+        m, k = s_cand.shape
+        src_down = (
+            self.local_replica and model is not None and model.is_down(src)
+        )
+        traces: List[QueryTrace] = []
+        for r in range(m):
+            gi = int(gidx[r])
+            placement = self._placement_of(batch, gi, placement_cache)
+            exec_mask = executed[r]
+            if bool(won[r]):
+                exec_mask = exec_mask & (elapsed_before[r] < local_end)
+            attempt_records = tuple(
+                AttemptTrace(
+                    int(s_cand[r, j]),
+                    hash_index_of(placement, int(s_cand[r, j])),
+                    _CODE_OUTCOMES[int(s_out[r, j])],
+                    float(cost[r, j]),
+                )
+                for j in range(k)
+                if exec_mask[j]
+            )
+            launched = bool(branch[r])
+            local_outcome = None
+            if launched:
+                if src_down:
+                    local_outcome = OUTCOME_TIMEOUT
+                elif bool(local_entry[r]):
+                    local_outcome = OUTCOME_HIT
+                else:
+                    local_outcome = OUTCOME_MISSING
+            ok = bool(success[r])
+            traces.append(
+                QueryTrace(
+                    guid_value=batch.guids[gi].value,
+                    source_asn=src,
+                    issued_at=float(issued_at[r]),
+                    k=len(placement),
+                    placement=placement,
+                    attempts=attempt_records,
+                    local_launched=launched,
+                    local_outcome=local_outcome,
+                    local_end_ms=float(local_end) if launched else None,
+                    used_local=bool(won[r]),
+                    served_by=int(served[r]) if ok else None,
+                    rtt_ms=float(rtt[r]),
+                    success=ok,
+                    failure_cause=None if ok else FAILURE_EXHAUSTED,
+                )
+            )
+        return traces
 
     def _outcome_matrix(
         self,

@@ -151,17 +151,53 @@ def batch_hosting_asns(
     its scalar ``hosting_asns`` per GUID, so any object satisfying the
     placer interface stays usable (just not vectorized).
     """
+    asns, _attempts, _deputy = batch_resolutions(placer, guid_values, index)
+    return asns
+
+
+def batch_resolutions(
+    placer: object,
+    guid_values: GuidValues,
+    index: Optional[IntervalIndex] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(asns, hash_attempts, via_deputy)`` for many GUIDs, shape ``(n, K)``.
+
+    The full Algorithm 1 provenance :meth:`GuidPlacer.resolve_all`
+    carries, batched.  Roster-based placers (§VII variants) resolve
+    every chain in one hash application and never need a deputy, so
+    their provenance planes are constant; an unrecognized placer goes
+    through its scalar ``resolve_all``/``hosting_asns`` per GUID.
+    """
     values = [int(v) for v in guid_values]
     if isinstance(placer, GuidPlacer):
-        asns, _attempts, _deputy = resolve_batch(placer, values, index)
-        return asns
+        return resolve_batch(placer, values, index)
     if isinstance(placer, ASNumberPlacer):
-        return _asnum_batch(placer, values)
-    if isinstance(placer, WeightedASPlacer):
-        return _weighted_batch(placer, values)
-    hosting = getattr(placer, "hosting_asns", None)
-    if hosting is None:
-        raise ConfigurationError(
-            f"object {placer!r} does not expose a placer interface"
-        )
-    return np.asarray([hosting(v) for v in values], dtype=np.int64)
+        asns = _asnum_batch(placer, values)
+    elif isinstance(placer, WeightedASPlacer):
+        asns = _weighted_batch(placer, values)
+    else:
+        resolve_all = getattr(placer, "resolve_all", None)
+        if resolve_all is not None:
+            rows = [resolve_all(v) for v in values]
+            asns = np.asarray(
+                [[res.asn for res in row] for row in rows], dtype=np.int64
+            )
+            attempts = np.asarray(
+                [[getattr(res, "attempts", 1) for res in row] for row in rows],
+                dtype=np.int64,
+            )
+            deputy = np.asarray(
+                [
+                    [getattr(res, "via_deputy", False) for res in row]
+                    for row in rows
+                ],
+                dtype=bool,
+            )
+            return asns, attempts, deputy
+        hosting = getattr(placer, "hosting_asns", None)
+        if hosting is None:
+            raise ConfigurationError(
+                f"object {placer!r} does not expose a placer interface"
+            )
+        asns = np.asarray([hosting(v) for v in values], dtype=np.int64)
+    return asns, np.ones_like(asns), np.zeros(asns.shape, dtype=bool)

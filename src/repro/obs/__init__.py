@@ -1,0 +1,56 @@
+"""Zero-dependency observability layer: per-query traces, counters, manifests.
+
+Submodules
+----------
+:mod:`.trace`
+    :class:`QueryTrace` records and the :class:`Tracer` protocol every
+    execution layer (resolver, DES, fastpath engine) emits through.
+:mod:`.counters`
+    Named counters/gauges/histograms and the trace aggregator that
+    flushes them into a structured run report.
+:mod:`.manifest`
+    Run manifests (seed, scale, K, placement, git SHA, config hash,
+    per-phase wall clock) written next to experiment outputs.
+:mod:`.export`
+    Canonical JSONL trace files plus trace-only report reconstruction
+    (``python -m repro.obs summarize-traces``).
+
+This package ``__init__`` re-exports only the hot-path surface
+(:mod:`.trace`, :mod:`.counters`); :mod:`.export` pulls in the
+experiment renderers and is imported explicitly by the code that needs
+it, keeping ``repro.core`` import-light.
+"""
+
+from .counters import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    aggregate_traces,
+)
+from .trace import (
+    NULL_TRACER,
+    AttemptTrace,
+    CollectingTracer,
+    PlacementRecord,
+    QueryTrace,
+    Tracer,
+    hash_index_of,
+    placement_records,
+)
+
+__all__ = [
+    "AttemptTrace",
+    "CollectingTracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "PlacementRecord",
+    "QueryTrace",
+    "Tracer",
+    "aggregate_traces",
+    "hash_index_of",
+    "placement_records",
+]

@@ -1,0 +1,105 @@
+"""CLI: reconstruct experiment reports from trace files alone.
+
+Examples::
+
+    python -m repro.obs summarize-traces fig4.traces.jsonl
+    python -m repro.obs summarize-traces fig4.traces.jsonl --tail 15
+    python -m repro.obs summarize-traces fig4.traces.jsonl --metrics
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional
+
+from .export import (
+    metrics_report,
+    read_traces,
+    summarize_fig4,
+    tail_provenance_table,
+)
+from .manifest import RunManifest, manifest_path_for
+
+
+def _scale_from_manifest(trace_path: str) -> Optional[str]:
+    """Recover the run's scale from the sibling manifest, if present."""
+    path = manifest_path_for(trace_path)
+    if not os.path.exists(path):
+        return None
+    try:
+        body = RunManifest.read(path)
+    except (OSError, ValueError):
+        return None
+    config = body.get("config")
+    if isinstance(config, dict):
+        scale = config.get("scale")
+        if isinstance(scale, str):
+            return scale
+    return None
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Reconstruct reports from per-query trace files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    summarize = sub.add_parser(
+        "summarize-traces",
+        help="rebuild the Fig. 4 report (and optional forensics) from JSONL traces",
+    )
+    summarize.add_argument("path", help="JSONL trace file written with --trace")
+    summarize.add_argument(
+        "--scale",
+        default=None,
+        help="scale label for the report header "
+        "(default: the sibling run manifest, else 'unknown')",
+    )
+    summarize.add_argument(
+        "--tail",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print the N worst queries with full provenance",
+    )
+    summarize.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the aggregated counters/histograms as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        traces = read_traces(args.path)
+    except OSError as exc:
+        print(f"cannot read {args.path}: {exc.strerror or exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"malformed trace file {args.path}: {exc}", file=sys.stderr)
+        return 1
+    if not traces:
+        print(f"no traces in {args.path}", file=sys.stderr)
+        return 1
+    scale = args.scale or _scale_from_manifest(args.path) or "unknown"
+    print(summarize_fig4(traces, scale=scale))
+    if args.tail:
+        print()
+        print(tail_provenance_table(traces, worst=args.tail))
+    if args.metrics:
+        print()
+        print(json.dumps(metrics_report(traces), indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like any
+        # well-behaved unix filter (devnull swap stops the interpreter
+        # from complaining again while flushing stdout at shutdown).
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(141)

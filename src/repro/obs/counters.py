@@ -1,0 +1,274 @@
+"""Named counters, gauges, and histograms for run reports.
+
+A tiny, dependency-free metrics registry: experiments and the caching
+layer register named instruments, bump them while running, and flush the
+whole registry into a structured (JSON-serializable) run report that
+lands in the run manifest next to the experiment output.
+
+A :func:`aggregate_traces` helper derives the standard DMap instruments
+(rehash depth, deputy fallbacks, orphaned-mapping hits, local-race wins,
+per-AS served-query load, RTT distribution) from a stream of
+:class:`~repro.obs.trace.QueryTrace` records, so any trace file can be
+turned into the same report after the fact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .trace import OUTCOME_HIT, OUTCOME_MISSING, QueryTrace
+
+#: A label value; ``None`` means the instrument's unlabeled default series.
+Label = Optional[Union[str, int]]
+
+#: Fig. 4 read-off thresholds reused as the default RTT histogram edges.
+DEFAULT_RTT_BUCKETS: Tuple[float, ...] = (
+    10.0,
+    20.0,
+    40.0,
+    60.0,
+    86.0,
+    100.0,
+    173.0,
+    250.0,
+    500.0,
+    1000.0,
+)
+
+
+def _key(label: Label) -> str:
+    return "" if label is None else str(label)
+
+
+class Counter:
+    """Monotonic named counter, optionally split by a single label."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: Dict[str, float] = {}
+
+    def inc(self, amount: float = 1.0, label: Label = None) -> None:
+        """Add ``amount`` to the series for ``label``."""
+        key = _key(label)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, label: Label = None) -> float:
+        """Current value of the series for ``label`` (0 if never bumped)."""
+        return self._values.get(_key(label), 0.0)
+
+    def total(self) -> float:
+        """Sum across every labeled series."""
+        return sum(self._values.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        series = {k: self._values[k] for k in sorted(self._values)}
+        return {"kind": self.kind, "help": self.help, "values": series}
+
+
+class Gauge:
+    """Last-write-wins named value, optionally split by a single label."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: Dict[str, float] = {}
+
+    def set(self, value: float, label: Label = None) -> None:
+        """Overwrite the series for ``label``."""
+        self._values[_key(label)] = value
+
+    def value(self, label: Label = None) -> float:
+        return self._values.get(_key(label), 0.0)
+
+    def as_dict(self) -> Dict[str, object]:
+        series = {k: self._values[k] for k in sorted(self._values)}
+        return {"kind": self.kind, "help": self.help, "values": series}
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max summary stats.
+
+    ``buckets`` are the inclusive upper edges (``value <= edge``); an
+    implicit overflow bucket catches everything beyond the last edge.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_RTT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.buckets: Tuple[float, ...] = tuple(sorted(float(b) for b in buckets))
+        self._counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """File one observation."""
+        slot = len(self.buckets)
+        for i, edge in enumerate(self.buckets):
+            if value <= edge:
+                slot = i
+                break
+        self._counts[slot] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def bucket_counts(self) -> Dict[str, int]:
+        """Counts keyed by rendered upper edge, plus ``"+Inf"``."""
+        out = {f"{edge:g}": self._counts[i] for i, edge in enumerate(self.buckets)}
+        out["+Inf"] = self._counts[-1]
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": self.bucket_counts(),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, flushed together into one structured report."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, kind: type, **kwargs) -> object:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name, **kwargs)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get-or-create the counter ``name``."""
+        return self._get(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get-or-create the gauge ``name``."""
+        return self._get(name, Gauge, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_RTT_BUCKETS,
+    ) -> Histogram:
+        """Get-or-create the histogram ``name``."""
+        return self._get(name, Histogram, help=help, buckets=buckets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def report(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of every instrument, name-sorted."""
+        return {name: self._metrics[name].as_dict() for name in sorted(self._metrics)}
+
+    def render(self) -> str:
+        """Terminal-friendly one-instrument-per-line summary."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                lines.append(
+                    f"{name} (histogram): count={metric.count} "
+                    f"mean={metric.mean:.3f} max="
+                    + (f"{metric.max:.3f}" if metric.count else "-")
+                )
+            else:
+                data = metric.as_dict()["values"]
+                if set(data) == {""}:
+                    lines.append(f"{name} ({metric.kind}): {data['']:g}")
+                else:
+                    top = sorted(data.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+                    rendered = ", ".join(f"{k}={v:g}" for k, v in top)
+                    suffix = ", ..." if len(data) > 5 else ""
+                    lines.append(
+                        f"{name} ({metric.kind}, {len(data)} series): "
+                        f"{rendered}{suffix}"
+                    )
+        return "\n".join(lines)
+
+
+def aggregate_traces(
+    traces: Iterable[QueryTrace], registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Fold a trace stream into the standard DMap instruments.
+
+    Derives exactly what the tentpole report needs: Algorithm 1 rehash
+    depth and deputy fallbacks, orphaned-mapping hits (replicas that
+    answered "GUID missing" although the placement says they should
+    host), local-race wins, per-AS served-query load, and the RTT
+    distribution split by success.
+    """
+    reg = registry or MetricsRegistry()
+    lookups = reg.counter("lookups_total", "completed lookups (incl. failures)")
+    failures = reg.counter("lookups_failed", "lookups that exhausted every replica")
+    local_wins = reg.counter("local_race_wins", "lookups won by the §III-C local branch")
+    attempts = reg.counter("lookup_attempts", "global replica contacts, by outcome")
+    orphaned = reg.counter(
+        "orphaned_mapping_hits",
+        "replicas that answered 'GUID missing' despite hosting duty (§III-D.1)",
+    )
+    deputies = reg.counter("deputy_fallbacks", "replica chains placed via deputy AS")
+    served = reg.counter("served_queries", "successful lookups answered, by AS")
+    rehash = reg.histogram(
+        "rehash_depth",
+        "hash applications per replica chain (Algorithm 1)",
+        buckets=tuple(float(d) for d in range(1, 11)),
+    )
+    rtts = reg.histogram("rtt_ms", "lookup round-trip time", DEFAULT_RTT_BUCKETS)
+    for trace in traces:
+        lookups.inc()
+        if not trace.success:
+            failures.inc()
+        else:
+            rtts.observe(trace.rtt_ms)
+            if trace.served_by is not None:
+                served.inc(label=trace.served_by)
+        if trace.used_local:
+            local_wins.inc()
+        for attempt in trace.attempts:
+            attempts.inc(label=attempt.outcome)
+            if attempt.outcome == OUTCOME_MISSING:
+                orphaned.inc(label=attempt.asn)
+        for record in trace.placement:
+            rehash.observe(float(record.hash_attempts))
+            if record.via_deputy:
+                deputies.inc()
+        if trace.local_launched and trace.local_outcome == OUTCOME_HIT:
+            reg.counter(
+                "local_branch_hits", "local branch held the mapping"
+            ).inc()
+    return reg

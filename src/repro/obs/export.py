@@ -1,0 +1,240 @@
+"""JSONL trace persistence and trace-only report reconstruction.
+
+One line per :class:`~repro.obs.trace.QueryTrace`, canonically ordered
+and canonically keyed, so two engines that executed the same lookups
+produce *byte-identical* files — the serialization itself is part of the
+cross-engine equivalence oracle.
+
+:func:`summarize_fig4` rebuilds the Fig. 4 report (CDF read-off table,
+Table-I-style summary rows, ASCII CDF) from a trace stream alone, by
+feeding the reconstructed per-K RTT arrays through the same
+:class:`~repro.experiments.fig4_response_time.Fig4Result` renderer the
+experiment driver uses; :func:`tail_provenance_table` renders the
+worst-query forensics the AS-23951 anecdote calls for.  The
+``python -m repro.obs summarize-traces`` CLI wraps both.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .counters import MetricsRegistry, aggregate_traces
+from .trace import (
+    OUTCOME_TIMEOUT,
+    AttemptTrace,
+    PlacementRecord,
+    QueryTrace,
+)
+
+#: Bumped when the on-disk trace layout changes shape.
+TRACE_SCHEMA_VERSION = 1
+
+
+def trace_to_dict(trace: QueryTrace) -> Dict[str, object]:
+    """Canonical JSON-serializable form of one trace."""
+    return {
+        "v": TRACE_SCHEMA_VERSION,
+        "guid": trace.guid_value,
+        "src": trace.source_asn,
+        "t": trace.issued_at,
+        "k": trace.k,
+        "placement": [
+            [record.asn, record.hash_attempts, bool(record.via_deputy)]
+            for record in trace.placement
+        ],
+        "attempts": [
+            [attempt.asn, attempt.hash_index, attempt.outcome, attempt.cost_ms]
+            for attempt in trace.attempts
+        ],
+        "local_launched": trace.local_launched,
+        "local_outcome": trace.local_outcome,
+        "local_end": trace.local_end_ms,
+        "used_local": trace.used_local,
+        "served_by": trace.served_by,
+        "rtt": trace.rtt_ms,
+        "success": trace.success,
+        "cause": trace.failure_cause,
+    }
+
+
+def trace_from_dict(data: Dict[str, object]) -> QueryTrace:
+    """Inverse of :func:`trace_to_dict` (exact round trip)."""
+    return QueryTrace(
+        guid_value=int(data["guid"]),
+        source_asn=int(data["src"]),
+        issued_at=float(data["t"]),
+        k=int(data["k"]),
+        placement=tuple(
+            PlacementRecord(int(asn), int(attempts), bool(deputy))
+            for asn, attempts, deputy in data["placement"]
+        ),
+        attempts=tuple(
+            AttemptTrace(int(asn), int(h), str(outcome), float(cost))
+            for asn, h, outcome, cost in data["attempts"]
+        ),
+        local_launched=bool(data["local_launched"]),
+        local_outcome=data["local_outcome"],
+        local_end_ms=(
+            None if data["local_end"] is None else float(data["local_end"])
+        ),
+        used_local=bool(data["used_local"]),
+        served_by=(None if data["served_by"] is None else int(data["served_by"])),
+        rtt_ms=float(data["rtt"]),
+        success=bool(data["success"]),
+        failure_cause=data["cause"],
+    )
+
+
+def dumps_trace(trace: QueryTrace) -> str:
+    """One canonical JSONL line (sorted keys, no whitespace)."""
+    return json.dumps(trace_to_dict(trace), sort_keys=True, separators=(",", ":"))
+
+
+def trace_sort_key(trace: QueryTrace) -> Tuple[int, float, int, int]:
+    """Canonical stream order: (K, issue time, GUID, source).
+
+    Engines emit traces in their own internal order (the scalar walk in
+    grouped-event order, the fastpath engine in source-group order); the
+    canonical sort makes the serialized streams comparable byte for
+    byte.
+    """
+    return (trace.k, trace.issued_at, trace.guid_value, trace.source_asn)
+
+
+def dumps_traces(traces: Iterable[QueryTrace], sort: bool = True) -> str:
+    """The full JSONL document (trailing newline included when non-empty)."""
+    items = list(traces)
+    if sort:
+        items.sort(key=trace_sort_key)
+    lines = [dumps_trace(trace) for trace in items]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_traces(path: str, traces: Iterable[QueryTrace], sort: bool = True) -> int:
+    """Write a canonical JSONL trace file; returns the trace count."""
+    document = dumps_traces(traces, sort=sort)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(document)
+    return document.count("\n")
+
+
+def iter_traces(path: str) -> Iterator[QueryTrace]:
+    """Stream traces back from a JSONL file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield trace_from_dict(json.loads(line))
+
+
+def read_traces(path: str) -> List[QueryTrace]:
+    """Load a whole JSONL trace file into memory."""
+    return list(iter_traces(path))
+
+
+# ----------------------------------------------------------------------
+# Trace-only report reconstruction
+# ----------------------------------------------------------------------
+def group_by_k(traces: Iterable[QueryTrace]) -> Dict[int, List[QueryTrace]]:
+    """Traces per replication factor, K ascending, file order within K."""
+    by_k: Dict[int, List[QueryTrace]] = {}
+    for trace in traces:
+        by_k.setdefault(trace.k, []).append(trace)
+    return {k: by_k[k] for k in sorted(by_k)}
+
+
+def summarize_fig4(traces: Iterable[QueryTrace], scale: str = "unknown") -> str:
+    """Rebuild the Fig. 4 report from traces alone.
+
+    Uses the experiment driver's own renderer over the reconstructed
+    per-K RTT arrays, so a trace file written during a fig4 run
+    reproduces that run's report byte for byte.
+    """
+    from ..experiments.fig4_response_time import Fig4Result
+
+    by_k = group_by_k(traces)
+    rtts_by_k: Dict[int, np.ndarray] = {}
+    local_hits: Dict[int, float] = {}
+    failed_by_k: Dict[int, int] = {}
+    for k, group in by_k.items():
+        successes = [t.rtt_ms for t in group if t.success]
+        rtts_by_k[k] = np.asarray(successes, dtype=float)
+        failed_by_k[k] = sum(1 for t in group if not t.success)
+        local_hits[k] = (
+            sum(1 for t in group if t.used_local) / len(group) if group else 0.0
+        )
+    return Fig4Result(scale, rtts_by_k, local_hits, failed_by_k).render()
+
+
+def classify_provenance(trace: QueryTrace) -> str:
+    """Why this query took as long as it did (tail forensics tag)."""
+    if not trace.success:
+        return "exhausted"
+    if trace.used_local:
+        return "local-race"
+    if any(a.outcome == OUTCOME_TIMEOUT for a in trace.attempts):
+        return "timeout-walk"
+    if trace.failed_attempts:
+        return "miss-walk"
+    if trace.deputy_chains:
+        return "deputy-chain"
+    return "direct"
+
+
+def tail_provenance_table(traces: Iterable[QueryTrace], worst: int = 10) -> str:
+    """The worst-``worst`` queries with their full provenance.
+
+    This is the table the AS-23951 anecdote wants: for each tail query,
+    who was asked in what order, what failed, whether the local race was
+    in play, and the resulting classification.
+    """
+    from ..experiments.reporting import format_table
+
+    ranked = sorted(
+        traces, key=lambda t: (-t.rtt_ms, t.issued_at, t.guid_value, t.source_asn)
+    )[:worst]
+    rows = []
+    for rank, trace in enumerate(ranked, 1):
+        walk = (
+            "->".join(f"{a.outcome[0]}@{a.asn}" for a in trace.attempts) or "-"
+        )
+        local = trace.local_outcome if trace.local_launched else "off"
+        rows.append(
+            (
+                rank,
+                f"{trace.rtt_ms:.1f}",
+                f"{trace.guid_value:#x}",
+                trace.source_asn,
+                trace.k,
+                walk,
+                local,
+                trace.deputy_chains,
+                classify_provenance(trace),
+            )
+        )
+    header = "Tail provenance — worst queries by RTT"
+    table = format_table(
+        [
+            "#",
+            "rtt [ms]",
+            "guid",
+            "src AS",
+            "K",
+            "walk",
+            "local",
+            "deputy",
+            "cause",
+        ],
+        rows,
+    )
+    return f"{header}\n{table}"
+
+
+def metrics_report(
+    traces: Iterable[QueryTrace], registry: Optional[MetricsRegistry] = None
+) -> Dict[str, object]:
+    """Structured counters/histograms derived from a trace stream."""
+    return aggregate_traces(traces, registry).report()

@@ -11,7 +11,7 @@ both paths produce the same response times on failure-free workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -23,6 +23,19 @@ from ..core.resolver import DEFAULT_TIMEOUT_MS
 from ..errors import ConfigurationError, SimulationError
 from ..hashing.hashers import HashFamily, Sha256Hasher
 from ..hashing.rehash import DEFAULT_MAX_REHASHES, GuidPlacer
+from ..obs.trace import (
+    FAILURE_EXHAUSTED,
+    NULL_TRACER,
+    OUTCOME_HIT,
+    OUTCOME_MISSING,
+    OUTCOME_TIMEOUT,
+    AttemptTrace,
+    PlacementRecord,
+    QueryTrace,
+    Tracer,
+    hash_index_of,
+    placement_records,
+)
 from ..topology.graph import ASTopology
 from ..topology.routing import Router
 from .engine import EventHandle, Simulator
@@ -94,6 +107,13 @@ class _PendingLookup:
         "done",
         "local_pending",
         "local_timeout_handle",
+        "tracing",
+        "placement",
+        "trace_log",
+        "local_launched",
+        "local_outcome",
+        "local_end_ms",
+        "attempt_sent_at",
     )
 
     def __init__(
@@ -115,6 +135,18 @@ class _PendingLookup:
         self.done = False
         self.local_pending = False
         self.local_timeout_handle: Optional[EventHandle] = None
+        # Trace bookkeeping (only populated when the tracer is enabled).
+        # The DES trace records *completed observations* in virtual-time
+        # order: a reply still in flight when the race ends is absent,
+        # unlike the analytic/fastpath traces which account every issued
+        # attempt — DES traces are forensic, not byte-equality oracles.
+        self.tracing = simulation.tracer.enabled
+        self.placement: Tuple[PlacementRecord, ...] = ()
+        self.trace_log: List[AttemptTrace] = []
+        self.local_launched = False
+        self.local_outcome: Optional[str] = None
+        self.local_end_ms: Optional[float] = None
+        self.attempt_sent_at = issued_at
 
     # -- global branch -------------------------------------------------
     def try_next(self, request_id: int) -> None:
@@ -127,6 +159,7 @@ class _PendingLookup:
         self.next_candidate += 1
         self.attempts += 1
         sim = self.simulation
+        self.attempt_sent_at = sim.simulator.now
         sim.network.send(
             MessageKind.LOOKUP,
             self.source_asn,
@@ -148,6 +181,18 @@ class _PendingLookup:
         if self.done:
             return
         self.timeout_handle = None
+        if self.tracing:
+            # The timer fired ``timeout`` ms after the send, so the cost
+            # is exactly the adaptive timeout charged for this attempt.
+            target = self.candidates[self.next_candidate - 1]
+            self.trace_log.append(
+                AttemptTrace(
+                    target,
+                    hash_index_of(self.placement, target),
+                    OUTCOME_TIMEOUT,
+                    self.simulation.simulator.now - self.attempt_sent_at,
+                )
+            )
         self.try_next(request_id)
 
     def on_response(self, message: Message) -> None:
@@ -157,7 +202,22 @@ class _PendingLookup:
         if self.done:
             return
         is_local = self.local_pending and message.src_asn == self.source_asn
-        if message.kind is MessageKind.LOOKUP_HIT:
+        hit = message.kind is MessageKind.LOOKUP_HIT
+        if self.tracing:
+            now = self.simulation.simulator.now
+            if is_local:
+                self.local_outcome = OUTCOME_HIT if hit else OUTCOME_MISSING
+                self.local_end_ms = now - self.issued_at
+            else:
+                self.trace_log.append(
+                    AttemptTrace(
+                        message.src_asn,
+                        hash_index_of(self.placement, message.src_asn),
+                        OUTCOME_HIT if hit else OUTCOME_MISSING,
+                        now - self.attempt_sent_at,
+                    )
+                )
+        if hit:
             self._complete(message.src_asn, used_local=is_local)
             return
         # LOOKUP_MISS
@@ -184,6 +244,9 @@ class _PendingLookup:
             return
         self.local_timeout_handle = None
         self.local_pending = False
+        if self.tracing:
+            self.local_outcome = OUTCOME_TIMEOUT
+            self.local_end_ms = self.simulation.simulator.now - self.issued_at
         if self.next_candidate >= len(self.candidates) and self.timeout_handle is None:
             self._maybe_fail()
 
@@ -206,6 +269,8 @@ class _PendingLookup:
                 success=True,
             )
         )
+        if self.tracing:
+            self._emit_trace(served_by, used_local, None)
 
     def _maybe_fail(self) -> None:
         if self.done or self.local_pending:
@@ -222,6 +287,34 @@ class _PendingLookup:
                 attempts=self.attempts,
                 used_local=False,
                 success=False,
+            )
+        )
+        if self.tracing:
+            self._emit_trace(None, False, FAILURE_EXHAUSTED)
+
+    def _emit_trace(
+        self,
+        served_by: Optional[int],
+        used_local: bool,
+        failure_cause: Optional[str],
+    ) -> None:
+        sim = self.simulation
+        sim.tracer.record(
+            QueryTrace(
+                guid_value=self.guid.value,
+                source_asn=self.source_asn,
+                issued_at=self.issued_at,
+                k=len(self.placement),
+                placement=self.placement,
+                attempts=tuple(self.trace_log),
+                local_launched=self.local_launched,
+                local_outcome=self.local_outcome,
+                local_end_ms=self.local_end_ms,
+                used_local=used_local,
+                served_by=served_by,
+                rtt_ms=sim.simulator.now - self.issued_at,
+                success=failure_cause is None,
+                failure_cause=failure_cause,
             )
         )
 
@@ -256,6 +349,7 @@ class DMapSimulation:
         router: Optional[Router] = None,
         seed: int = 0,
         placer=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if timeout_ms <= 0:
             raise ConfigurationError("timeout_ms must be positive")
@@ -270,6 +364,8 @@ class DMapSimulation:
         self.local_replica = local_replica
         self.timeout_ms = timeout_ms
         self.failure_model = failure_model or FailureModel()
+        # Explicit None check: an empty CollectingTracer is falsy (len 0).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
         self.simulator = Simulator()
         self.network = Network(self.simulator, self.router)
@@ -435,14 +531,20 @@ class DMapSimulation:
 
     def _start_lookup(self, guid: GUID, source_asn: int) -> None:
         now = self.simulator.now
-        candidates = self.selector.order_candidates(
-            source_asn, self.placer.hosting_asns(guid)
-        )
+        if self.tracer.enabled:
+            placement = placement_records(self.placer, guid)
+            hosting: Sequence[int] = [record.asn for record in placement]
+        else:
+            placement = ()
+            hosting = self.placer.hosting_asns(guid)
+        candidates = self.selector.order_candidates(source_asn, hosting)
         request_id = self.network.next_request_id()
         pending = _PendingLookup(self, guid, source_asn, now, candidates)
+        pending.placement = placement
         self._pending[request_id] = pending
         if self.local_replica and source_asn not in candidates:
             pending.local_pending = True
+            pending.local_launched = True
             self.network.send(
                 MessageKind.LOOKUP,
                 source_asn,

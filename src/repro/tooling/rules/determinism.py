@@ -29,6 +29,7 @@ SIM_CRITICAL_PACKAGES: Tuple[str, ...] = (
     "repro.topology",
     "repro.workload",
     "repro.validation",
+    "repro.obs",
 )
 
 #: numpy.random attributes that are part of the seeded-Generator API.

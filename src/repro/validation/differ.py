@@ -18,7 +18,7 @@ sweep (trie / interval index / flat scan) complete the diff.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -30,6 +30,7 @@ from ..core.guid import GUID
 from ..core.resolver import DMapResolver
 from ..errors import LookupFailedError
 from ..fastpath import FastpathEngine
+from ..obs.trace import CollectingTracer, QueryTrace
 from ..sim.simulation import DMapSimulation
 from .report import (
     KIND_FASTPATH_ATTEMPTS,
@@ -105,6 +106,9 @@ class PathResult:
     storage: Dict[int, frozenset]
     table: GlobalPrefixTable
     replica_addresses: Tuple[int, ...]
+    #: Per-lookup traces keyed by issue time; attached to divergence
+    #: reports so a mismatch arrives with both sides' full provenance.
+    traces: Dict[float, QueryTrace] = field(default_factory=dict)
 
 
 @dataclass
@@ -147,6 +151,7 @@ def run_analytic(scenario: Scenario) -> PathResult:
     """Replay the trace through the instant-accounting resolver."""
     table = scenario.fresh_table()
     config = scenario.config
+    tracer = CollectingTracer()
     resolver = DMapResolver(
         table,
         scenario.router,
@@ -155,6 +160,7 @@ def run_analytic(scenario: Scenario) -> PathResult:
         timeout_ms=config.timeout_ms,
         selection_rng=np.random.default_rng(scenario.selector_seed),
         placer=scenario.make_placer(table),
+        tracer=tracer,
     )
     availability = scenario.availability
     lookups: Dict[float, LookupOutcome] = {}
@@ -181,6 +187,7 @@ def run_analytic(scenario: Scenario) -> PathResult:
                     op.asn,
                     probe=availability.lookup_outcome,
                     is_down=availability.is_down,
+                    time=op.at,
                 )
                 lookups[op.at] = LookupOutcome(
                     success=True,
@@ -208,6 +215,7 @@ def run_analytic(scenario: Scenario) -> PathResult:
         storage=_storage_snapshot(resolver.stores),
         table=table,
         replica_addresses=tuple(replica_addresses),
+        traces={trace.issued_at: trace for trace in tracer.traces},
     )
 
 
@@ -215,6 +223,7 @@ def run_simulation(scenario: Scenario) -> PathResult:
     """Replay the trace through the discrete-event simulation."""
     table = scenario.fresh_table()
     config = scenario.config
+    tracer = CollectingTracer()
     sim = DMapSimulation(
         scenario.topology,
         table,
@@ -225,6 +234,7 @@ def run_simulation(scenario: Scenario) -> PathResult:
         router=scenario.router,
         seed=scenario.selector_seed,
         placer=scenario.make_placer(table),
+        tracer=tracer,
     )
     for op in scenario.trace:
         if op.kind == OP_INSERT:
@@ -258,6 +268,7 @@ def run_simulation(scenario: Scenario) -> PathResult:
         storage=_storage_snapshot(stores),
         table=table,
         replica_addresses=(),
+        traces={trace.issued_at: trace for trace in tracer.traces},
     )
 
 
@@ -378,12 +389,24 @@ def _diff_storage(
     return mismatches
 
 
+def _trace_pair(
+    ours: Optional[QueryTrace], theirs: Optional[QueryTrace]
+) -> str:
+    """Both sides' compact provenance, for a divergence bundle's detail."""
+    if ours is None and theirs is None:
+        return ""
+    left = ours.compact() if ours is not None else "-"
+    right = theirs.compact() if theirs is not None else "-"
+    return f"ours[{left}] theirs[{right}]"
+
+
 def _diff_lookup(
     seed: int,
     subject: str,
     ours: LookupOutcome,
     theirs: LookupOutcome,
     kinds: Dict[str, str] = _SIM_LOOKUP_KINDS,
+    trace_detail: str = "",
 ) -> List[Mismatch]:
     mismatches: List[Mismatch] = []
     if ours.success != theirs.success:
@@ -394,6 +417,7 @@ def _diff_lookup(
                 subject,
                 str(ours.success),
                 str(theirs.success),
+                detail=trace_detail,
             )
         )
         return mismatches  # dependent fields are meaningless on disagreement
@@ -405,6 +429,7 @@ def _diff_lookup(
                 subject,
                 str(ours.served_by),
                 str(theirs.served_by),
+                detail=trace_detail,
             )
         )
     if ours.used_local != theirs.used_local:
@@ -415,6 +440,7 @@ def _diff_lookup(
                 subject,
                 str(ours.used_local),
                 str(theirs.used_local),
+                detail=trace_detail,
             )
         )
     if ours.attempts != theirs.attempts:
@@ -425,6 +451,7 @@ def _diff_lookup(
                 subject,
                 str(ours.attempts),
                 str(theirs.attempts),
+                detail=trace_detail,
             )
         )
     if not _close(ours.rtt_ms, theirs.rtt_ms):
@@ -435,6 +462,7 @@ def _diff_lookup(
                 subject,
                 f"{ours.rtt_ms:.6f}",
                 f"{theirs.rtt_ms:.6f}",
+                detail=trace_detail,
             )
         )
     return mismatches
@@ -454,15 +482,18 @@ def fastpath_supported(scenario: Scenario) -> bool:
 
 def run_fastpath(
     scenario: Scenario,
-) -> Tuple[Dict[float, LookupOutcome], Dict[float, float]]:
+) -> Tuple[
+    Dict[float, LookupOutcome], Dict[float, float], Dict[float, QueryTrace]
+]:
     """Replay a (no-churn) trace through the batched fastpath engine.
 
-    Returns per-lookup outcomes and per-write RTTs keyed by issue time,
-    shaped exactly like the analytic :class:`PathResult` fields so the
-    same comparison code applies.
+    Returns per-lookup outcomes, per-write RTTs, and per-lookup traces
+    keyed by issue time, shaped exactly like the analytic
+    :class:`PathResult` fields so the same comparison code applies.
     """
     table = scenario.fresh_table()
     config = scenario.config
+    tracer = CollectingTracer()
     engine = FastpathEngine(
         table,
         scenario.router,
@@ -470,6 +501,7 @@ def run_fastpath(
         local_replica=config.local_replica,
         timeout_ms=config.timeout_ms,
         placer=scenario.make_placer(table),
+        tracer=tracer,
     )
     write_order: Dict[int, int] = {}
     local_asn: Dict[int, int] = {}
@@ -501,6 +533,7 @@ def run_fastpath(
             ),
             np.asarray([op.asn for op in lookup_ops], dtype=np.int64),
             availability=scenario.availability,
+            issued_at=np.asarray([op.at for op in lookup_ops], dtype=np.float64),
         )
         for i, op in enumerate(lookup_ops):
             success = bool(result.success[i])
@@ -511,7 +544,11 @@ def run_fastpath(
                 attempts=int(result.attempts[i]),
                 rtt_ms=float(result.rtt_ms[i]),
             )
-    return lookups, write_rtts
+    return (
+        lookups,
+        write_rtts,
+        {trace.issued_at: trace for trace in tracer.traces},
+    )
 
 
 def _diff_fastpath(
@@ -519,7 +556,7 @@ def _diff_fastpath(
 ) -> Tuple[List[Mismatch], int]:
     """Fastpath lane: batched engine vs the analytic oracle."""
     seed = scenario.config.seed
-    fp_lookups, fp_writes = run_fastpath(scenario)
+    fp_lookups, fp_writes, fp_traces = run_fastpath(scenario)
     mismatches: List[Mismatch] = []
     for at in sorted(analytic.lookups):
         op = ops_by_time[at]
@@ -534,11 +571,21 @@ def _diff_fastpath(
                     subject,
                     analytic=f"success={ours.success}",
                     simulated="no record (lookup missing from batch)",
+                    detail=_trace_pair(analytic.traces.get(at), None),
                 )
             )
             continue
         mismatches.extend(
-            _diff_lookup(seed, subject, ours, theirs, kinds=_FASTPATH_LOOKUP_KINDS)
+            _diff_lookup(
+                seed,
+                subject,
+                ours,
+                theirs,
+                kinds=_FASTPATH_LOOKUP_KINDS,
+                trace_detail=_trace_pair(
+                    analytic.traces.get(at), fp_traces.get(at)
+                ),
+            )
         )
     for at in sorted(analytic.write_rtts):
         op = ops_by_time[at]
@@ -587,10 +634,21 @@ def diff_scenario(scenario: Scenario, fastpath: bool = True) -> ScenarioDiff:
                         f"attempts={ours.attempts}"
                     ),
                     simulated="no record (lookup never completed)",
+                    detail=_trace_pair(analytic.traces.get(at), None),
                 )
             )
             continue
-        mismatches.extend(_diff_lookup(seed, subject, ours, theirs))
+        mismatches.extend(
+            _diff_lookup(
+                seed,
+                subject,
+                ours,
+                theirs,
+                trace_detail=_trace_pair(
+                    analytic.traces.get(at), simulated.traces.get(at)
+                ),
+            )
+        )
 
     for at in sorted(analytic.write_rtts):
         op = ops_by_time[at]

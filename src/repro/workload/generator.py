@@ -167,7 +167,10 @@ class Workload:
                 for _round in range(max_retry_rounds):
                     try:
                         result = resolver.lookup(
-                            event.guid, event.source_asn, probe=probe
+                            event.guid,
+                            event.source_asn,
+                            probe=probe,
+                            time=event.time_ms,
                         )
                         break
                     except LookupFailedError as exc:
@@ -203,6 +206,7 @@ class Workload:
         local_asn: Dict[GUID, int] = {}
         lookup_guids: List[int] = []
         lookup_sources: List[int] = []
+        lookup_times: List[float] = []
         for event in self.events:
             if event.kind is EventKind.LOOKUP:
                 idx = write_order.get(event.guid)
@@ -212,6 +216,7 @@ class Workload:
                     )
                 lookup_guids.append(idx)
                 lookup_sources.append(event.source_asn)
+                lookup_times.append(event.time_ms)
             else:
                 if lookup_guids:
                     raise FastpathUnsupportedError(
@@ -228,6 +233,7 @@ class Workload:
             np.asarray(lookup_guids, dtype=np.int64),
             np.asarray(lookup_sources, dtype=np.int64),
             n_jobs=n_jobs,
+            issued_at=np.asarray(lookup_times, dtype=np.float64),
         )
         return result.rtt_ms.tolist()
 

@@ -94,3 +94,168 @@ class TestCompositeModel:
     def test_empty_rejected(self):
         with pytest.raises(ConfigurationError):
             CompositeFailureModel([])
+
+
+class TestTracedFailureRuns:
+    """Failure-path forensics: the DES trace stream under injected faults.
+
+    These runs exercise the tracing hooks on every failure branch of the
+    walk — dropped requests at dead ASes (the DES message-loss
+    mechanism), the adaptive per-attempt timeout, the local-branch timer
+    of a down querier, and the exhausted-walk failure cause.
+    """
+
+    def _traced_sim(self, topology, base_table, router, model, seed=13):
+        from repro.obs import CollectingTracer
+        from repro.sim.simulation import DMapSimulation
+
+        tracer = CollectingTracer()
+        sim = DMapSimulation(
+            topology,
+            base_table,
+            k=5,
+            router=router,
+            seed=seed,
+            failure_model=model,
+            tracer=tracer,
+        )
+        return sim, tracer
+
+    def _schedule(self, sim, base_table, hosts):
+        for i, (guid, home, querier) in enumerate(hosts):
+            locator = base_table.representative_address(home)
+            sim.schedule_insert(guid, [locator], home, at=0.0)
+            sim.schedule_lookup(guid, querier, at=60_000.0 + 10.0 * i)
+
+    def test_dead_replicas_leave_adaptive_timeout_attempts(
+        self, topology, base_table, router, asns, rng
+    ):
+        from repro.core.resolver import OUTCOME_TIMEOUT as TIMEOUT
+
+        down = set(int(a) for a in asns[: len(asns) // 4])
+        up = [int(a) for a in asns if int(a) not in down]
+        model = RouterFailureModel(down)
+        sim, tracer = self._traced_sim(topology, base_table, router, model)
+        hosts = [
+            (
+                GUID.from_name(f"dead-replica-{i}"),
+                int(rng.choice(up)),
+                int(rng.choice(up)),
+            )
+            for i in range(40)
+        ]
+        self._schedule(sim, base_table, hosts)
+        sim.run()
+
+        assert len(tracer.traces) == len(hosts)
+        timeouts = [
+            a for t in tracer.traces for a in t.attempts if a.outcome == TIMEOUT
+        ]
+        assert timeouts, "expected dropped requests at dead replicas"
+        for a in timeouts:
+            # Requests to a dead AS vanish; the walk only moves on when
+            # the adaptive timer max(timeout, 2*rtt) fires, so that is
+            # exactly the attempt's observed cost.
+            assert a.asn in down
+            assert a.cost_ms >= sim.timeout_ms - 1e-9
+        for t in tracer.traces:
+            if t.success and not t.used_local:
+                assert t.attempts[-1].outcome == "hit"
+                assert t.served_by == t.attempts[-1].asn
+                assert t.served_by not in down
+
+    def test_down_querier_still_served_globally(
+        self, topology, base_table, router, asns, rng
+    ):
+        down_src = int(asns[3])
+        model = RouterFailureModel([down_src])
+        sim, tracer = self._traced_sim(topology, base_table, router, model, seed=7)
+        up = [int(a) for a in asns if int(a) != down_src]
+        hosts = [
+            (GUID.from_name(f"dead-src-{i}"), int(rng.choice(up)), down_src)
+            for i in range(10)
+        ]
+        self._schedule(sim, base_table, hosts)
+        sim.run()
+
+        assert len(tracer.traces) == len(hosts)
+        for t in tracer.traces:
+            assert t.source_asn == down_src
+            # A dead querier drops its own local-branch request, but the
+            # global replicas still answer (matching the scalar model,
+            # where is_down only kills the local branch).  The walk wins
+            # long before the ~5 s local timer, so the trace shows the
+            # local reply still in flight: launched, never observed.
+            assert t.success
+            assert not t.used_local
+            assert t.served_by != down_src
+            if t.local_launched:
+                assert t.local_outcome is None
+                assert t.local_end_ms is None
+                assert "local=in-flight" in t.compact()
+
+    def test_total_outage_observes_local_timeout_and_exhaustion(
+        self, topology, base_table, router, asns, rng
+    ):
+        model = RouterFailureModel([int(a) for a in asns])
+        sim, tracer = self._traced_sim(topology, base_table, router, model, seed=11)
+        hosts = [
+            (
+                GUID.from_name(f"outage-{i}"),
+                int(rng.choice(asns)),
+                int(rng.choice(asns)),
+            )
+            for i in range(10)
+        ]
+        self._schedule(sim, base_table, hosts)
+        sim.run()
+
+        assert len(tracer.traces) == len(hosts)
+        assert len(sim.metrics.failed) == len(hosts)
+        for t in tracer.traces:
+            assert not t.success
+            assert t.failure_cause == "exhausted"
+            assert t.served_by is None
+            # Every replica contact vanished: K distinct-AS timeout
+            # attempts, each costing the full adaptive timer.
+            assert t.attempts
+            assert all(a.outcome == "timeout" for a in t.attempts)
+            assert all(a.cost_ms >= sim.timeout_ms - 1e-9 for a in t.attempts)
+            # The walk burns >= K * timeout sequentially, so this time
+            # the ~1 * timeout local timer does fire and get recorded.
+            if t.local_launched:
+                assert t.local_outcome == "timeout"
+                assert t.local_end_ms is not None
+                assert t.local_end_ms >= sim.timeout_ms - 1e-9
+                assert t.rtt_ms >= t.local_end_ms
+
+    def test_churn_misses_show_as_orphaned_mappings(
+        self, topology, base_table, router, asns, rng
+    ):
+        from repro.obs import aggregate_traces
+
+        model = ChurnFailureModel(0.4, seed=5)
+        sim, tracer = self._traced_sim(topology, base_table, router, model, seed=9)
+        hosts = [
+            (
+                GUID.from_name(f"churn-{i}"),
+                int(rng.choice(asns)),
+                int(rng.choice(asns)),
+            )
+            for i in range(40)
+        ]
+        self._schedule(sim, base_table, hosts)
+        sim.run()
+
+        assert len(tracer.traces) == len(hosts)
+        report = aggregate_traces(tracer.traces).report()
+        misses = sum(
+            1
+            for t in tracer.traces
+            for a in t.attempts
+            if a.outcome == OUTCOME_MISSING
+        )
+        assert misses > 0, "expected churned-away mappings to answer missing"
+        assert sum(report["orphaned_mapping_hits"]["values"].values()) == misses
+        failed = [t for t in tracer.traces if not t.success]
+        assert len(failed) == len(sim.metrics.failed)

@@ -97,3 +97,38 @@ class TestStats:
     def test_random_asn_is_valid(self, network):
         for _ in range(20):
             assert network.random_asn() in network.topology
+
+
+class TestTracing:
+    def test_register_move_lookup_trace_round_trip(self):
+        from repro.obs import CollectingTracer
+
+        tracer = CollectingTracer()
+        net = DMapNetwork.build(n_as=80, k=5, seed=17, tracer=tracer)
+        guid = net.register_host("roamer")
+        before = len(tracer.traces)
+
+        first = net.lookup("roamer")
+        net.move_host("roamer")
+        after_move = net.host_location("roamer")
+        second = net.lookup("roamer")
+
+        # Only the two lookups trace; writes are not lookups.
+        traces = tracer.traces[before:]
+        assert len(traces) == 2
+        for t, result in zip(traces, (first, second)):
+            assert t.guid_value == int(guid)
+            assert t.success
+            assert t.k == 5
+            assert t.rtt_ms == result.rtt_ms
+            assert len(t.placement) == 5
+            assert t.served_by == (
+                t.source_asn if t.used_local else t.attempts[-1].asn
+            )
+
+        # The post-move trace still resolves through the same replica
+        # chains (placement is a pure function of the GUID), and the
+        # returned locator is the new attachment's address.
+        assert traces[0].replica_set == traces[1].replica_set
+        expected = net.table.representative_address(after_move)
+        assert second.locators == (expected,)
