@@ -75,3 +75,27 @@ class SimulationError(DMapError):
 
 class WorkloadError(DMapError):
     """A workload generator was configured or driven incorrectly."""
+
+
+class WireProtocolError(DMapError):
+    """A wire frame could not be encoded or decoded (:mod:`repro.net`)."""
+
+
+class ClusterError(DMapError):
+    """A live serving cluster was configured or driven incorrectly."""
+
+
+class WriteFailedError(DMapError):
+    """A live insert/update did not reach every replica (:mod:`repro.net`).
+
+    Carries the replicas that did acknowledge so callers can reason
+    about partial writes.
+    """
+
+    def __init__(self, guid: object, acked: int, expected: int) -> None:
+        self.guid = guid
+        self.acked = acked
+        self.expected = expected
+        super().__init__(
+            f"write of {guid!r} acknowledged by {acked}/{expected} replicas"
+        )

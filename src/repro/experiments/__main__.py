@@ -67,7 +67,7 @@ def main(argv: Optional[list] = None) -> int:
         default=None,
         choices=["scalar", "fastpath", "bulk"],
         help="execution engine for fig4/fig6 (fig4: scalar|fastpath, "
-        "default scalar; fig6: bulk|fastpath, default bulk)",
+        "default scalar; fig6: scalar|bulk|fastpath, default bulk)",
     )
     parser.add_argument(
         "--jobs",

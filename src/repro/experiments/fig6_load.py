@@ -67,6 +67,24 @@ class Fig6Result:
         )
 
 
+def _place_guids_scalar(folded: np.ndarray, placer: GuidPlacer):
+    """Per-GUID Algorithm 1 over the same hash family as the batch engines.
+
+    ``FastHasher.hash_one`` and ``hash_batch`` agree element-wise, so the
+    placements (and hence the rendered output) are byte-identical to
+    ``engine="bulk"`` — tested in ``tests/test_experiments.py``.  This is
+    the reference oracle; it is ~100x slower and meant for small runs.
+    """
+    n, k = len(folded), placer.k
+    asns = np.empty((n, k), dtype=np.int64)
+    via_deputy = np.zeros((n, k), dtype=bool)
+    for row, value in enumerate(folded.tolist()):
+        for i, res in enumerate(placer.resolve_all(int(value))):
+            asns[row, i] = res.asn
+            via_deputy[row, i] = res.via_deputy
+    return asns, via_deputy
+
+
 def run_fig6(
     scale: Optional[str] = None,
     n_guids_list: Optional[Sequence[int]] = None,
@@ -82,10 +100,12 @@ def run_fig6(
     AS count so the statistical regime (GUIDs-per-AS) matches the paper's.
     ``engine="fastpath"`` routes placement through the shared
     :func:`repro.fastpath.placement.resolve_batch` kernel (bit-identical
-    to the original ``place_guids_bulk``; folding a uint64 is a no-op).
+    to the original ``place_guids_bulk``; folding a uint64 is a no-op);
+    ``engine="scalar"`` is the per-GUID :class:`GuidPlacer` oracle —
+    slow, but its output is byte-identical to both batch engines.
     """
     env = environment or get_environment(scale, seed)
-    if engine not in ("bulk", "fastpath"):
+    if engine not in ("scalar", "bulk", "fastpath"):
         raise ConfigurationError(f"unknown engine {engine!r}")
     if n_guids_list is None:
         factor = env.scale.n_as / 26_424
@@ -103,6 +123,9 @@ def run_fig6(
         if engine == "fastpath":
             placer = GuidPlacer(hasher, env.table, max_rehashes=max_rehashes)
             asns, _attempts, via_deputy = resolve_batch(placer, folded, index)
+        elif engine == "scalar":
+            placer = GuidPlacer(hasher, env.table, max_rehashes=max_rehashes)
+            asns, via_deputy = _place_guids_scalar(folded, placer)
         else:
             asns, _attempts, via_deputy = place_guids_bulk(
                 folded, hasher, index, env.table, max_rehashes=max_rehashes

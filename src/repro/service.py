@@ -24,6 +24,7 @@ from .bgp.table import GlobalPrefixTable
 from .core.guid import GUID, guid_like
 from .core.resolver import DMapResolver, LookupResult, WriteResult
 from .errors import ConfigurationError, DMapError
+from .obs.counters import MetricsRegistry
 from .topology.generator import generate_internet_topology, small_scale_config
 from .topology.graph import ASTopology
 from .topology.routing import Router
@@ -49,6 +50,7 @@ class DMapNetwork:
         table: GlobalPrefixTable,
         k: int = 5,
         seed: int = 0,
+        registry: Optional[MetricsRegistry] = None,
         **resolver_kwargs,
     ) -> None:
         self.topology = topology
@@ -60,6 +62,10 @@ class DMapNetwork:
         self.hosts: Dict[GUID, HostRecord] = {}
         self._names: Dict[str, GUID] = {}
         self.clock_ms = 0.0
+        # Shared with the wire servers when a live cluster is attached to
+        # the same deployment, so façade gauges and per-frame counters
+        # land in one report.
+        self.registry = registry if registry is not None else MetricsRegistry()
 
     @classmethod
     def build(
@@ -186,10 +192,28 @@ class DMapNetwork:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    #: ``stats()`` gauge names and their help strings — each field is a
+    #: registered :mod:`repro.obs.counters` instrument, not an ad-hoc key.
+    STAT_GAUGES = {
+        "n_as": "ASs in the deployed topology",
+        "n_prefixes": "prefixes announced in the global table",
+        "announcement_ratio": "fraction of the address space announced",
+        "n_hosts": "currently registered hosts",
+        "replica_copies": "mapping copies stored across all ASs",
+        "hosting_ases": "ASs currently storing at least one mapping",
+        "max_load": "mappings at the most loaded AS",
+    }
+
     def stats(self) -> Dict[str, float]:
-        """Deployment-level summary counters."""
+        """Deployment-level summary, published through the registry.
+
+        Every field is a named :class:`~repro.obs.counters.Gauge` in
+        :attr:`registry` (refreshed on each call), so a metrics report
+        that includes wire-server counters carries these too; the
+        returned dict is a plain snapshot of the same gauges.
+        """
         load = self.resolver.storage_load()
-        return {
+        values = {
             "n_as": float(len(self.topology)),
             "n_prefixes": float(len(self.table)),
             "announcement_ratio": self.table.announcement_ratio(),
@@ -198,3 +222,6 @@ class DMapNetwork:
             "hosting_ases": float(len(load)),
             "max_load": float(max(load.values())) if load else 0.0,
         }
+        for name, value in values.items():
+            self.registry.gauge(f"service.{name}", self.STAT_GAUGES[name]).set(value)
+        return values

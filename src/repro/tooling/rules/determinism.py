@@ -30,6 +30,16 @@ SIM_CRITICAL_PACKAGES: Tuple[str, ...] = (
     "repro.workload",
     "repro.validation",
     "repro.obs",
+    # repro.net: only the pure modules are sim-critical.  The codec and
+    # the client's schedule/jitter arithmetic must replay bit-for-bit
+    # (wire tests and the live validation lane assert it), so they get
+    # the full determinism rule set.  The event-loop modules (node,
+    # cluster, loadgen, __main__) are deliberately excluded: their job
+    # is real wall-clock I/O — loop.time() reads, timer scheduling,
+    # socket readiness — which is inherently order-nondeterministic and
+    # is reconciled statistically, not bit-for-bit.
+    "repro.net.protocol",
+    "repro.net.client",
 )
 
 #: numpy.random attributes that are part of the seeded-Generator API.

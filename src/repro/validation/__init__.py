@@ -13,10 +13,12 @@ tier-1 suite runs a small smoke set, CI a larger one on every push.
 """
 
 from .differ import ScenarioDiff, diff_scenario
+from .live import LiveComparison, run_live_check
 from .report import Mismatch, ValidationReport
 from .scenarios import Scenario, ScenarioAvailability, ScenarioConfig, generate_scenario
 
 __all__ = [
+    "LiveComparison",
     "Mismatch",
     "Scenario",
     "ScenarioAvailability",
@@ -25,4 +27,5 @@ __all__ = [
     "ValidationReport",
     "diff_scenario",
     "generate_scenario",
+    "run_live_check",
 ]

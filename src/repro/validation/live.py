@@ -1,0 +1,179 @@
+"""The live lane: wire-measured RTTs vs. the analytic resolver.
+
+The differential lanes in :mod:`repro.validation.differ` cross-check the
+three *offline* engines against each other.  This lane closes the last
+gap: it boots a real :class:`~repro.net.cluster.LocalCluster` (asyncio
+datagram servers, shaped loopback wire) and replays workload lookups
+through a live :class:`~repro.net.client.DMapClient`, comparing every
+wire-measured latency against the analytic
+:class:`~repro.core.resolver.DMapResolver` prediction on identical
+seeds and identical stores.
+
+With no packet loss the client's K-parallel race resolves to the same
+replica the analytic best-first walk charges for, so the two
+distributions must agree up to event-loop scheduling noise; the check
+asserts the median of per-query live/analytic ratios stays within a
+pinned tolerance and that success stays ≥ ``min_success_rate``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..net.client import ClientConfig
+from ..net.cluster import ClusterConfig, LocalCluster
+
+#: Pinned acceptance bounds: the selftest, the tests, and CI's net-smoke
+#: job all assert against these same numbers.
+DEFAULT_TOLERANCE = 0.25
+DEFAULT_MIN_SUCCESS_RATE = 0.99
+
+
+@dataclass(frozen=True)
+class LiveComparison:
+    """Outcome of one live-vs-analytic run.
+
+    ``median_ratio`` is the median over queries of
+    ``live_rtt / analytic_rtt`` — robust to a few scheduler-delayed
+    outliers, 1.0 under perfect shaping.
+    """
+
+    queries: int
+    successes: int
+    failures: int
+    n_nodes: int
+    tolerance: float
+    min_success_rate: float
+    median_live_ms: float
+    median_analytic_ms: float
+    median_ratio: float
+    ratios: Tuple[float, ...] = field(repr=False, default=())
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.queries if self.queries else 0.0
+
+    @property
+    def within_tolerance(self) -> bool:
+        return abs(self.median_ratio - 1.0) <= self.tolerance
+
+    @property
+    def ok(self) -> bool:
+        return self.within_tolerance and self.success_rate >= self.min_success_rate
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "queries": self.queries,
+            "successes": self.successes,
+            "failures": self.failures,
+            "success_rate": self.success_rate,
+            "n_nodes": self.n_nodes,
+            "median_live_ms": self.median_live_ms,
+            "median_analytic_ms": self.median_analytic_ms,
+            "median_ratio": self.median_ratio,
+            "tolerance": self.tolerance,
+            "min_success_rate": self.min_success_rate,
+            "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        verdict = "OK" if self.ok else "FAIL"
+        return (
+            f"live lane [{verdict}]: {self.successes}/{self.queries} lookups ok "
+            f"({100.0 * self.success_rate:.2f}%) across {self.n_nodes} nodes | "
+            f"median live {self.median_live_ms:.1f} ms vs analytic "
+            f"{self.median_analytic_ms:.1f} ms (ratio {self.median_ratio:.3f}, "
+            f"tolerance ±{self.tolerance:.2f})"
+        )
+
+
+async def _run_queries(
+    cluster: LocalCluster, queries: int, client_config: Optional[ClientConfig]
+) -> Tuple[List[Optional[float]], List[float]]:
+    """Sequentially replay ``queries`` servable lookups on the wire.
+
+    Returns per-query live RTTs (``None`` where the lookup failed) and
+    the matching analytic predictions.  Sequential issue keeps each
+    measurement free of cross-query event-loop contention.
+    """
+    from ..errors import DMapError
+
+    await cluster.start()
+    client = cluster.client(config=client_config)
+    await client.start()
+    live: List[Optional[float]] = []
+    analytic: List[float] = []
+    try:
+        stream = cluster.lookup_stream()
+        for i in range(queries):
+            lookup = stream[i % len(stream)]
+            analytic.append(cluster.analytic_rtt_ms(lookup.guid, lookup.source_asn))
+            try:
+                result = await client.lookup(lookup.guid, lookup.source_asn)
+                live.append(result.rtt_ms)
+            except DMapError:
+                live.append(None)
+    finally:
+        client.close()
+        await cluster.stop()
+    return live, analytic
+
+
+def run_live_check(
+    seed: int = 0,
+    queries: int = 200,
+    scale: str = "small",
+    max_nodes: int = 25,
+    n_guids: int = 150,
+    k: int = 5,
+    loss_rate: float = 0.0,
+    time_scale: Optional[float] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_success_rate: float = DEFAULT_MIN_SUCCESS_RATE,
+    client_config: Optional[ClientConfig] = None,
+    cluster: Optional[LocalCluster] = None,
+) -> LiveComparison:
+    """Boot a seeded cluster, replay lookups, compare against analytic.
+
+    A pre-built ``cluster`` can be passed (tests reuse one across
+    checks); otherwise one is built from the arguments.  The cluster is
+    started and stopped inside a private event loop, so this function is
+    callable from synchronous CLI / pytest code.
+    """
+    if cluster is None:
+        kwargs = dict(
+            scale=scale,
+            seed=seed,
+            k=k,
+            max_nodes=max_nodes,
+            n_guids=n_guids,
+            n_lookups=max(queries, 1) * 2,
+            loss_rate=loss_rate,
+        )
+        if time_scale is not None:
+            kwargs["time_scale"] = time_scale
+        cluster = LocalCluster.build(ClusterConfig(**kwargs))
+    live, analytic = asyncio.run(_run_queries(cluster, queries, client_config))
+
+    ratios = [
+        measured / predicted
+        for measured, predicted in zip(live, analytic)
+        if measured is not None and predicted > 0.0
+    ]
+    successes = sum(1 for measured in live if measured is not None)
+    measured_ok = [m for m in live if m is not None]
+    return LiveComparison(
+        queries=len(live),
+        successes=successes,
+        failures=len(live) - successes,
+        n_nodes=len(cluster.node_asns),
+        tolerance=tolerance,
+        min_success_rate=min_success_rate,
+        median_live_ms=statistics.median(measured_ok) if measured_ok else 0.0,
+        median_analytic_ms=statistics.median(analytic) if analytic else 0.0,
+        median_ratio=statistics.median(ratios) if ratios else 0.0,
+        ratios=tuple(ratios),
+    )

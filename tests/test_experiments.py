@@ -181,6 +181,32 @@ class TestFig6Shape:
         assert "NLR" in result.render()
 
 
+class TestFig6Engines:
+    """All three fig6 engines are interchangeable, byte for byte."""
+
+    def test_engines_render_identically(self, env):
+        renders = {
+            engine: run_fig6(
+                environment=env, n_guids_list=(1_500,), engine=engine
+            ).render()
+            for engine in ("scalar", "bulk", "fastpath")
+        }
+        assert renders["scalar"] == renders["bulk"] == renders["fastpath"]
+
+    def test_engine_arrays_identical(self, env):
+        results = [
+            run_fig6(environment=env, n_guids_list=(1_500,), engine=engine)
+            for engine in ("scalar", "bulk")
+        ]
+        for a, b in zip(results, results[1:]):
+            np.testing.assert_array_equal(a.nlr_by_n[1_500], b.nlr_by_n[1_500])
+            assert a.deputy_fraction_by_n == b.deputy_fraction_by_n
+
+    def test_unknown_engine_rejected(self, env):
+        with pytest.raises(ConfigurationError):
+            run_fig6(environment=env, n_guids_list=(1_500,), engine="warp")
+
+
 class TestFig7Shape:
     def test_curves_decreasing_and_ordered(self):
         result = run_fig7()
